@@ -1,0 +1,90 @@
+// Figures F2/F5/F6 (DESIGN.md §4): the full composition pipeline
+// Tree-Reduce-1 = Server o Rand o Tree1, measured end to end — transform
+// time, and execution of the produced program on the interpreter for the
+// paper's expression tree and larger trees.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+
+#include "interp/interp.hpp"
+#include "transform/motif.hpp"
+#include "transform/tree.hpp"
+
+namespace tf = motif::transform;
+namespace in = motif::interp;
+using motif::term::Program;
+
+namespace {
+
+const char* kUserEval = R"(
+  eval('+',L,R,Value) :- Value is L + R.
+  eval('*',L,R,Value) :- Value is L * R.
+)";
+
+std::string sum_tree(int leaves) {
+  std::function<std::string(int)> build = [&](int k) -> std::string {
+    if (k == 1) return "leaf(1)";
+    return "tree('+'," + build(k / 2) + "," + build(k - k / 2) + ")";
+  };
+  return build(leaves);
+}
+
+void BM_ComposeTreeReduce1(benchmark::State& state) {
+  Program user = Program::parse(kUserEval);
+  for (auto _ : state) {
+    // Compose AND apply — the full M2(M1(A)) pipeline per iteration.
+    Program out = tf::tree_reduce1_motif().apply(user);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_ComposeTreeReduce2(benchmark::State& state) {
+  Program user = Program::parse(kUserEval);
+  for (auto _ : state) {
+    Program out = tf::tree_reduce2_full_motif().apply(user);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void run_composed(benchmark::State& state, bool tr2) {
+  const int leaves = static_cast<int>(state.range(0));
+  Program user = Program::parse(kUserEval);
+  Program prog = tr2 ? tf::tree_reduce2_full_motif().apply(user)
+                     : tf::tree_reduce1_motif().apply(user);
+  const std::string entry = tr2 ? "start" : "run";
+  const std::string goal =
+      "create(4, " + entry + "(" + sum_tree(leaves) + ",Value))";
+  std::uint64_t reductions = 0;
+  for (auto _ : state) {
+    in::InterpOptions opts;
+    opts.nodes = 4;
+    opts.workers = 2;
+    in::Interp interp(prog, opts);
+    auto [g, r] = interp.run_query(goal);
+    if (g.arg(1).arg(1).int_value() != leaves) {
+      state.SkipWithError("wrong value");
+    }
+    reductions = r.reductions;
+  }
+  state.counters["reductions"] = static_cast<double>(reductions);
+  state.SetItemsProcessed(state.iterations() * leaves);
+}
+
+void BM_RunComposedTR1(benchmark::State& state) {
+  run_composed(state, false);
+}
+void BM_RunComposedTR2(benchmark::State& state) { run_composed(state, true); }
+
+}  // namespace
+
+BENCHMARK(BM_ComposeTreeReduce1)->Unit(benchmark::kMicrosecond)
+    ->MinTime(0.02);
+BENCHMARK(BM_ComposeTreeReduce2)->Unit(benchmark::kMicrosecond)
+    ->MinTime(0.02);
+BENCHMARK(BM_RunComposedTR1)->Arg(4)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.02);
+BENCHMARK(BM_RunComposedTR2)->Arg(4)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.02);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Experiment E1 (DESIGN.md §4): "This random mapping should produce a
+// reasonably balanced load if |Nodes| >> |Processors|" (Section 3.1).
+//
+// Series: tree leaves 2^6..2^16 x processors {2,4,8,16,32}, reporting the
+// per-processor work imbalance (max/mean; 1.0 = perfect) of Tree-Reduce-1
+// under random victim selection, plus the round-robin ablation.
+//
+// Expected shape: imbalance -> 1 as leaves/processor grows; small trees on
+// many processors are imbalanced.
+#include <benchmark/benchmark.h>
+
+#include "motifs/tree.hpp"
+#include "motifs/tree_reduce.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+namespace {
+
+void run_case(benchmark::State& state, m::MapPolicy policy) {
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  const auto procs = static_cast<std::uint32_t>(state.range(1));
+  rt::Rng tree_rng(1234);
+  auto tree = m::random_tree<long, char>(
+      tree_rng, leaves, [](rt::Rng& r) { return long(r.below(10)); },
+      [](rt::Rng&) { return '+'; });
+  double imbalance = 0.0, vspeedup = 0.0;
+  std::uint64_t remote = 0;
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = procs, .workers = 2, .batch = 64, .seed = 77});
+    auto eval = [&mach](const char&, const long& a, const long& b) {
+      mach.add_work(1);  // one unit per node evaluation
+      return a + b;
+    };
+    benchmark::DoNotOptimize(
+        m::tree_reduce1<long, char>(mach, tree, eval, policy));
+    auto s = mach.load_summary();
+    imbalance = s.work_imbalance;
+    vspeedup = s.virtual_speedup;
+    remote = s.remote_msgs;
+  }
+  state.counters["imbalance"] = imbalance;
+  state.counters["virt_speedup"] = vspeedup;
+  state.counters["remote_msgs"] = static_cast<double>(remote);
+  state.counters["leaves_per_proc"] =
+      static_cast<double>(leaves) / static_cast<double>(procs);
+}
+
+void BM_RandomMapping(benchmark::State& state) {
+  run_case(state, m::MapPolicy::Random);
+}
+
+void BM_RoundRobinMapping(benchmark::State& state) {
+  run_case(state, m::MapPolicy::RoundRobin);
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (int leaves : {64, 256, 1024, 4096, 16384, 65536}) {
+    for (int procs : {2, 4, 8, 16, 32}) {
+      b->Args({leaves, procs});
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_RandomMapping)->Apply(args);
+BENCHMARK(BM_RoundRobinMapping)->Apply(args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Experiment E2 (DESIGN.md §4): Tree-Reduce-1 "can initiate multiple
+// computations on the same processor simultaneously. This is potentially
+// problematic ... as each invocation of the node evaluation function can
+// create large intermediate data structures"; Tree-Reduce-2 "reduces
+// memory consumption" (Section 3.5).
+//
+// Model: every *initiated* node evaluation owns a 256 KiB working set
+// (DP-matrix-sized, like the profile aligner) from initiation to
+// completion (rt::EvalScope + eval_working_bytes knob). Tree-Reduce-1
+// initiates an evaluation the moment both subtree values exist — queued
+// or not — exactly as a Strand server starts a computation per received
+// reduce message; Tree-Reduce-2 evaluates at most one node at a time per
+// processor.
+//
+// Reported: peak concurrently-initiated evaluations and the resulting
+// peak working-set MiB, TR1 vs TR2, over tree size x processor count.
+//
+// Expected shape: TR1 peaks grow with the tree and shrink with more
+// processors; TR2 stays at <= processors regardless of tree size.
+#include <benchmark/benchmark.h>
+
+#include "motifs/tree.hpp"
+#include "motifs/tree_reduce.hpp"
+#include "runtime/metrics.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+namespace {
+
+constexpr std::size_t kWorkingSet = 256 * 1024;
+
+long slow_add(const char&, const long& a, const long& b) {
+  for (int i = 0; i < 5000; ++i) asm volatile("");
+  return a + b;
+}
+
+using LTree = m::Tree<long, char>;
+
+template <class F>
+void run_case(benchmark::State& state, F reduce) {
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  const auto procs = static_cast<std::uint32_t>(state.range(1));
+  auto tree = m::balanced_tree<long, char>(
+      leaves, [](std::size_t) { return 1L; }, '+');
+  rt::eval_working_bytes().store(kWorkingSet);
+  std::int64_t peak_bytes = 0, peak_evals = 0;
+  for (auto _ : state) {
+    rt::live_bytes().reset();
+    rt::active_evals().reset();
+    rt::Machine mach({.nodes = procs, .workers = 2, .seed = 99});
+    long v = reduce(mach, tree);
+    benchmark::DoNotOptimize(v);
+    if (v != static_cast<long>(leaves)) state.SkipWithError("wrong sum");
+    peak_bytes = rt::live_bytes().peak();
+    peak_evals = rt::active_evals().peak();
+  }
+  rt::eval_working_bytes().store(0);
+  state.counters["peak_MiB"] =
+      static_cast<double>(peak_bytes) / (1024.0 * 1024.0);
+  state.counters["peak_initiated_evals"] = static_cast<double>(peak_evals);
+  state.counters["procs"] = static_cast<double>(procs);
+}
+
+void BM_TR1_Memory(benchmark::State& state) {
+  run_case(state, [](rt::Machine& mach, const LTree::Ptr& t) {
+    return m::tree_reduce1<long, char>(mach, t, slow_add);
+  });
+}
+
+void BM_TR2_Memory(benchmark::State& state) {
+  run_case(state, [](rt::Machine& mach, const LTree::Ptr& t) {
+    return m::tree_reduce2<long, char>(mach, t, slow_add);
+  });
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (int leaves : {64, 256, 1024, 4096}) {
+    for (int procs : {2, 4, 8}) {
+      b->Args({leaves, procs});
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_TR1_Memory)->Apply(args);
+BENCHMARK(BM_TR2_Memory)->Apply(args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

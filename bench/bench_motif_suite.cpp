@@ -1,0 +1,189 @@
+// Experiment E8 (DESIGN.md §4): the future-work motif areas of Section 4
+// — "search, sorting, grid problems, divide and conquer, and various
+// graph theory problems" — each behaving as a motif should: one scaling
+// series per area over the simulated machine.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "align/nw.hpp"
+#include "align/sequence.hpp"
+#include "motifs/motifs.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+namespace {
+
+// ---- search: n-queens -------------------------------------------------------
+
+struct Queens {
+  int n;
+  std::vector<int> cols;
+  bool ok(int c) const {
+    const int r = static_cast<int>(cols.size());
+    for (int i = 0; i < r; ++i) {
+      if (cols[i] == c || std::abs(cols[i] - c) == r - i) return false;
+    }
+    return true;
+  }
+};
+
+std::vector<Queens> expand(const Queens& q) {
+  std::vector<Queens> out;
+  if (static_cast<int>(q.cols.size()) == q.n) return out;
+  for (int c = 0; c < q.n; ++c) {
+    if (q.ok(c)) {
+      Queens next = q;
+      next.cols.push_back(c);
+      out.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+void BM_SearchQueens(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = 8, .workers = 2, .seed = 31});
+    count = m::count_solutions<Queens>(
+        mach, Queens{n, {}}, expand,
+        [n](const Queens& q) { return static_cast<int>(q.cols.size()) == n; },
+        3);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["solutions"] = static_cast<double>(count);
+}
+
+// ---- sorting ---------------------------------------------------------------
+
+void BM_SortMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rt::Rng rng(41);
+  std::vector<int> data(n);
+  for (auto& x : data) x = static_cast<int>(rng.below(1u << 30));
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = 8, .workers = 2});
+    auto out = m::parallel_merge_sort(mach, data, 4096);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_SortSample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rt::Rng rng(43);
+  std::vector<int> data(n);
+  for (auto& x : data) x = static_cast<int>(rng.below(1u << 30));
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = 8, .workers = 2});
+    auto out = m::parallel_sample_sort(mach, data);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+
+// ---- grid ------------------------------------------------------------------
+
+void BM_GridJacobi(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = 8, .workers = 2});
+    m::Grid2D g(side, side, 0.0);
+    for (std::size_t c = 0; c < side; ++c) g.at(0, c) = 100.0;
+    m::JacobiOptions opts;
+    opts.max_iters = 200;
+    opts.tolerance = 0.0;
+    auto res = m::jacobi_solve(mach, g, opts);
+    benchmark::DoNotOptimize(res.residual);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(side * side * 200));
+}
+
+// ---- divide and conquer -------------------------------------------------------
+
+void BM_DnCFib(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = 8, .workers = 2, .seed = 47});
+    auto fib = m::divide_and_conquer<int, long>(
+        mach, n, [](const int& k) { return k < 2; },
+        [](int k) { return static_cast<long>(k); },
+        [](const int& k) { return std::vector<int>{k - 1, k - 2}; },
+        [](const int&, std::vector<long> rs) { return rs[0] + rs[1]; });
+    benchmark::DoNotOptimize(fib);
+  }
+}
+
+// ---- graph -----------------------------------------------------------------
+
+void BM_GraphBfs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rt::Rng rng(53);
+  auto g = m::Graph::random_gnp(n, 8.0 / static_cast<double>(n), rng);
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = 8, .workers = 2});
+    auto d = m::parallel_bfs(mach, g, 0);
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["edges"] = static_cast<double>(g.edge_count());
+}
+
+// ---- scan ------------------------------------------------------------------
+
+void BM_ScanPrefixSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rt::Rng rng(59);
+  std::vector<std::uint64_t> base(n);
+  for (auto& x : base) x = rng.below(1000);
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = 8, .workers = 2});
+    auto v = base;
+    m::parallel_inclusive_scan(
+        mach, v, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    benchmark::DoNotOptimize(v.back());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+
+// ---- wavefront (the case-study kernel as a grid client) ---------------------
+
+void BM_WavefrontNW(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  rt::Rng rng(61);
+  auto a = motif::align::random_sequence(rng, len);
+  auto b = motif::align::evolve(a, 4.0, {}, rng);
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = 8, .workers = 2});
+    benchmark::DoNotOptimize(motif::align::nw_score_wavefront(mach, a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(len * len));
+}
+
+}  // namespace
+
+BENCHMARK(BM_SearchQueens)->Arg(8)->Arg(9)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_SortMerge)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_SortSample)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_GridJacobi)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_DnCFib)->Arg(16)->Arg(20)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_GraphBfs)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_ScanPrefixSum)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_WavefrontNW)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Figure F1 (DESIGN.md §4): the producer/consumer program of Figure 1 —
+// message rate of the synchronously-coupled pair, in three realisations:
+//   * the verbatim high-level program on the interpreter
+//   * Strand-style streams (stream.hpp) between two OS threads
+//   * the native channel pipeline motif (capacity 1 = the sync ack)
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <thread>
+
+#include "interp/interp.hpp"
+#include "motifs/pipeline.hpp"
+#include "runtime/stream.hpp"
+
+namespace in = motif::interp;
+namespace rt = motif::rt;
+
+namespace {
+
+void BM_InterpFigure1(benchmark::State& state) {
+  const auto n = static_cast<long>(state.range(0));
+  auto program = motif::term::Program::parse(R"(
+    go(N) :- producer(N,Xs,sync), consumer(Xs).
+    producer(N,Xs,sync) :- N > 0 |
+        Xs := [X|Xs1], N1 is N - 1, producer(N1,Xs1,X).
+    producer(0,Xs,_) :- Xs := [].
+    consumer([X|Xs]) :- X := sync, consumer(Xs).
+    consumer([]).
+  )");
+  for (auto _ : state) {
+    in::InterpOptions opts;
+    opts.nodes = 2;
+    opts.workers = 2;
+    in::Interp interp(program, opts);
+    auto [goal, r] = interp.run_query("go(" + std::to_string(n) + ")");
+    if (r.deadlocked()) state.SkipWithError("deadlock");
+    benchmark::DoNotOptimize(r.reductions);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_StreamProducerConsumer(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt::Stream<int> head;
+    std::thread producer([head, n]() mutable {
+      rt::Stream<int> t = head;
+      for (int i = 0; i < n; ++i) t = t.push(i);
+      t.close();
+    });
+    long sum = 0;
+    rt::Stream<int> cur = head;
+    while (auto nx = cur.next_blocking()) {
+      sum += nx->first;
+      cur = nx->second;
+    }
+    producer.join();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_ChannelPipeline(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    motif::Pipeline<int> p(1);  // capacity 1: the Figure 1 sync coupling
+    int next = 0;
+    long sum = 0;
+    p.source([&]() -> std::optional<int> {
+       if (next >= n) return std::nullopt;
+       return next++;
+     }).sink([&](int v) { sum += v; });
+    p.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_InterpFigure1)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.02);
+BENCHMARK(BM_StreamProducerConsumer)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.02);
+BENCHMARK(BM_ChannelPipeline)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.02);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Experiment E7 (DESIGN.md §4): the paper's reuse-through-modification
+// example — "a scheduler motif might be adapted to the demands of a
+// highly parallel computer by introducing additional levels in its
+// manager/worker hierarchy" (Section 1).
+//
+// Series: workers {4,8,16,32,64} x task grain, flat vs 2-level hierarchy.
+// Reported: messages handled by the TOP manager (its hotspot) and wall
+// time.
+//
+// Expected shape: top-manager traffic drops by ~the batch factor with the
+// hierarchy; the advantage grows with worker count.
+#include <benchmark/benchmark.h>
+
+#include "motifs/scheduler.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+namespace {
+
+constexpr int kTasks = 2000;
+
+void run_case(benchmark::State& state, std::uint32_t levels) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  const auto grain = static_cast<std::uint64_t>(state.range(1));
+  std::uint64_t manager_msgs = 0;
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = workers + 1, .workers = 2, .seed = 17});
+    m::Scheduler sched(mach, {.workers = workers,
+                              .levels = levels,
+                              .group = 4,
+                              .batch = 16});
+    for (int i = 0; i < kTasks; ++i) {
+      sched.submit([grain] {
+        volatile std::uint64_t h = 1469598103934665603ull;
+        for (std::uint64_t k = 0; k < grain; ++k) {
+          h = (h ^ k) * 1099511628211ull;
+        }
+      });
+    }
+    manager_msgs = sched.run();
+  }
+  state.counters["top_manager_msgs"] = static_cast<double>(manager_msgs);
+  state.counters["msgs_per_task"] =
+      static_cast<double>(manager_msgs) / kTasks;
+}
+
+void BM_FlatManagerWorker(benchmark::State& state) { run_case(state, 1); }
+void BM_HierarchicalManagerWorker(benchmark::State& state) {
+  run_case(state, 2);
+}
+
+void BM_DagDependencies(benchmark::State& state) {
+  // A layered DAG: each layer depends on the previous; measures the
+  // dependency-release path of the scheduler.
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = workers + 1, .workers = 2, .seed = 23});
+    m::Scheduler sched(mach, {.workers = workers});
+    std::vector<m::SchedTaskId> prev;
+    for (int layer = 0; layer < 20; ++layer) {
+      std::vector<m::SchedTaskId> cur;
+      for (int i = 0; i < 16; ++i) {
+        cur.push_back(sched.submit([] {}, prev));
+      }
+      prev = std::move(cur);
+    }
+    benchmark::DoNotOptimize(sched.run());
+  }
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (int workers : {4, 8, 16, 32, 64}) {
+    for (long grain : {0L, 2000L}) {
+      b->Args({workers, grain});
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_FlatManagerWorker)->Apply(args);
+BENCHMARK(BM_HierarchicalManagerWorker)->Apply(args);
+BENCHMARK(BM_DagDependencies)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

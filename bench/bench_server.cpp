@@ -1,0 +1,89 @@
+// Experiment E9 (DESIGN.md §4): the Server motif and termination
+// machinery scale — message throughput over the fully-connected network
+// (Figure 3/4), halt propagation cost, and the short-circuit termination
+// detector's overhead (Section 3.3).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "motifs/server.hpp"
+#include "runtime/termination.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+namespace {
+
+void BM_ServerThroughput(benchmark::State& state) {
+  // Each received message triggers `fan` new messages until a hop budget
+  // is spent: a message flood across all servers.
+  const auto servers = static_cast<std::uint32_t>(state.range(0));
+  constexpr int kHops = 20000;
+  std::uint64_t handled = 0;
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = servers, .workers = 2, .seed = 61});
+    std::atomic<int> budget{kHops};
+    m::ServerNetwork<int> net(mach, servers, [&](auto& ctx, int) {
+      const int left = budget.fetch_sub(1) - 1;
+      if (left <= 0) {
+        if (left == 0) ctx.halt();
+        return;
+      }
+      ctx.send(static_cast<std::uint32_t>(ctx.rng().below(ctx.nodes())) + 1,
+               0);
+    });
+    net.start(1, 0);
+    net.wait();
+    handled = net.messages_handled();
+  }
+  state.SetItemsProcessed(state.iterations() * handled);
+  state.counters["servers"] = static_cast<double>(servers);
+}
+
+void BM_HaltLatency(benchmark::State& state) {
+  // Time from first message to fully-halted network, with all servers
+  // busy self-messaging.
+  const auto servers = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = servers, .workers = 2, .seed = 67});
+    m::ServerNetwork<int> net(mach, servers, [&](auto& ctx, int k) {
+      if (ctx.self() == 1 && k == 0) {
+        ctx.halt();
+        return;
+      }
+      ctx.send(ctx.self(), k - 1);
+    });
+    for (std::uint32_t s = 2; s <= servers; ++s) {
+      net.start(s, 1 << 20);  // effectively endless until halt
+    }
+    net.start(1, 0);
+    net.wait();
+  }
+}
+
+void BM_ShortCircuitForkClose(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    rt::ShortCircuit sc;
+    auto root = sc.root();
+    std::vector<rt::ShortCircuit::Link> links;
+    links.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) links.push_back(root.fork());
+    root.close();
+    for (auto& l : links) l.close();
+    benchmark::DoNotOptimize(sc.done());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServerThroughput)->Arg(2)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_HaltLatency)->Arg(4)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_ShortCircuitForkClose)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.02);
+
+BENCHMARK_MAIN();

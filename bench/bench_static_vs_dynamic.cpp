@@ -1,0 +1,211 @@
+// Experiment E4 (DESIGN.md §4): "A static partition of the tree is
+// probably ideal in the simple arithmetic example. In contrast, our
+// biology application requires a more dynamic algorithm, as the time
+// required at each node is non-uniform and cannot easily be predicted"
+// (Section 3.1).
+//
+// Workload: balanced trees whose node evaluation costs are either uniform
+// or unpredictable — heavy-tailed (Pareto alpha=1.2) AND spatially
+// clustered in one hot quarter of the tree, like a clade of long
+// sequences in the alignment application. Schedules: static partition,
+// Tree-Reduce-1, Tree-Reduce-2, and the demand-driven manager/worker
+// scheduler. Reported: virtual makespan (max per-processor work) and
+// virtual speedup (total work / makespan) — the host-core-independent
+// shape measure.
+//
+// Expected shape: with uniform costs the static partition is competitive
+// (the paper: "probably ideal"); with heavy-tailed costs the
+// demand-driven manager/worker scheduler wins because no static
+// assignment predicts the hot nodes. Tree-Reduce-1's random mapping sits
+// between the two: finer-grained than the static partition but not
+// load-aware.
+#include <benchmark/benchmark.h>
+
+#include "motifs/scheduler.hpp"
+#include "motifs/tree.hpp"
+#include "motifs/tree_reduce.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+namespace {
+
+/// Burns real CPU proportional to the virtual cost: demand-driven
+/// scheduling only reacts to load it can observe, so virtual cost must be
+/// mirrored in wall time.
+void spin_units(std::uint64_t units) {
+  for (std::uint64_t i = 0; i < units * 32; ++i) asm volatile("");
+}
+
+// Leaf value carries a per-node evaluation cost drawn ahead of time (the
+// unpredictability is that the *scheduler* does not see the costs).
+struct Task {
+  long sum = 0;
+  std::uint64_t cost = 0;  // cost of the evaluation that produced it
+};
+
+using TTree = m::Tree<Task, std::uint64_t>;  // tag = cost of this node
+
+TTree::Ptr cost_tree(std::size_t leaves, bool heavy_tailed,
+                     std::uint64_t seed) {
+  rt::Rng rng(seed);
+  // Unpredictable = heavy-tailed AND clustered: nodes entirely inside the
+  // first quarter of the leaf range are "hot" (a clade of expensive
+  // evaluations no static assignment anticipates).
+  const std::size_t hot_end = leaves / 4;
+  auto cost = [&](std::size_t /*lo*/, std::size_t hi) -> std::uint64_t {
+    if (!heavy_tailed) return 10;
+    const bool hot = hi <= hot_end;
+    const double base = rng.pareto(10.0, 1.2);
+    return static_cast<std::uint64_t>(hot ? 20.0 * base : base);
+  };
+  std::function<TTree::Ptr(std::size_t, std::size_t)> build =
+      [&](std::size_t lo, std::size_t n) -> TTree::Ptr {
+    if (n == 1) return TTree::leaf(Task{1, 0});
+    const std::size_t lhs = n / 2;
+    return TTree::node(cost(lo, lo + n), build(lo, lhs),
+                       build(lo + lhs, n - lhs));
+  };
+  return build(0, leaves);
+}
+
+template <class F>
+void run_case(benchmark::State& state, F reduce, bool heavy) {
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  const auto procs = static_cast<std::uint32_t>(state.range(1));
+  auto tree = cost_tree(leaves, heavy, 2024);
+  double makespan = 0, vspeedup = 0;
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = procs, .workers = 2, .seed = 3});
+    auto eval = [&mach](const std::uint64_t& cost, const Task& a,
+                        const Task& b) {
+      spin_units(cost);
+      mach.add_work(cost);
+      return Task{a.sum + b.sum, cost};
+    };
+    Task out = reduce(mach, tree, eval);
+    benchmark::DoNotOptimize(out);
+    if (out.sum != static_cast<long>(leaves)) {
+      state.SkipWithError("wrong sum");
+    }
+    auto s = mach.load_summary();
+    makespan = static_cast<double>(s.makespan);
+    vspeedup = s.virtual_speedup;
+  }
+  state.counters["virt_makespan"] = makespan;
+  state.counters["virt_speedup"] = vspeedup;
+}
+
+using Eval = std::function<Task(const std::uint64_t&, const Task&,
+                                const Task&)>;
+
+void BM_Static_Uniform(benchmark::State& state) {
+  run_case(state,
+           [](rt::Machine& mach, const TTree::Ptr& t, auto eval) {
+             return m::static_tree_reduce<Task, std::uint64_t>(mach, t, eval);
+           },
+           false);
+}
+void BM_Static_HeavyTail(benchmark::State& state) {
+  run_case(state,
+           [](rt::Machine& mach, const TTree::Ptr& t, auto eval) {
+             return m::static_tree_reduce<Task, std::uint64_t>(mach, t, eval);
+           },
+           true);
+}
+void BM_TR1_Uniform(benchmark::State& state) {
+  run_case(state,
+           [](rt::Machine& mach, const TTree::Ptr& t, auto eval) {
+             return m::tree_reduce1<Task, std::uint64_t>(mach, t, eval);
+           },
+           false);
+}
+void BM_TR1_HeavyTail(benchmark::State& state) {
+  run_case(state,
+           [](rt::Machine& mach, const TTree::Ptr& t, auto eval) {
+             return m::tree_reduce1<Task, std::uint64_t>(mach, t, eval);
+           },
+           true);
+}
+void BM_TR2_Uniform(benchmark::State& state) {
+  run_case(state,
+           [](rt::Machine& mach, const TTree::Ptr& t, auto eval) {
+             return m::tree_reduce2<Task, std::uint64_t>(mach, t, eval);
+           },
+           false);
+}
+void BM_TR2_HeavyTail(benchmark::State& state) {
+  run_case(state,
+           [](rt::Machine& mach, const TTree::Ptr& t, auto eval) {
+             return m::tree_reduce2<Task, std::uint64_t>(mach, t, eval);
+           },
+           true);
+}
+
+// The demand-driven schedule: the tree as a dependency DAG fed to the
+// manager/worker scheduler motif — idle workers pull work, so hot nodes
+// are balanced reactively. (Machine gets P workers + 1 manager node; the
+// manager does no tree work, so virtual speedup is still work/makespan
+// over the P workers.)
+void run_manager_worker(benchmark::State& state, bool heavy) {
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  const auto procs = static_cast<std::uint32_t>(state.range(1));
+  auto tree = cost_tree(leaves, heavy, 2024);
+  double makespan = 0, vspeedup = 0;
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = procs + 1, .workers = 2, .seed = 3});
+    m::Scheduler sched(mach, {.workers = procs});
+    // Post-order DAG construction: a node's task depends on its children.
+    std::function<m::SchedTaskId(const TTree::Ptr&)> build =
+        [&](const TTree::Ptr& t) -> m::SchedTaskId {
+      if (t->is_leaf()) {
+        return sched.submit([] {});
+      }
+      auto l = build(t->left());
+      auto r = build(t->right());
+      const std::uint64_t cost = t->tag();
+      return sched.submit(
+          [&mach, cost] {
+            spin_units(cost);
+            mach.add_work(cost);
+          },
+          {l, r});
+    };
+    build(tree);
+    sched.run();
+    auto s = mach.load_summary();
+    makespan = static_cast<double>(s.makespan);
+    vspeedup = s.virtual_speedup;
+  }
+  state.counters["virt_makespan"] = makespan;
+  state.counters["virt_speedup"] = vspeedup;
+}
+
+void BM_ManagerWorker_Uniform(benchmark::State& state) {
+  run_manager_worker(state, false);
+}
+void BM_ManagerWorker_HeavyTail(benchmark::State& state) {
+  run_manager_worker(state, true);
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (int leaves : {1024, 8192}) {
+    for (int procs : {4, 8, 16}) {
+      b->Args({leaves, procs});
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Static_Uniform)->Apply(args);
+BENCHMARK(BM_Static_HeavyTail)->Apply(args);
+BENCHMARK(BM_TR1_Uniform)->Apply(args);
+BENCHMARK(BM_TR1_HeavyTail)->Apply(args);
+BENCHMARK(BM_TR2_Uniform)->Apply(args);
+BENCHMARK(BM_TR2_HeavyTail)->Apply(args);
+BENCHMARK(BM_ManagerWorker_Uniform)->Apply(args);
+BENCHMARK(BM_ManagerWorker_HeavyTail)->Apply(args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Experiment E11 (extension; DESIGN.md §5): interconnect sensitivity.
+// Strand ran on "hypercubes, mesh machines, transputer surfaces"
+// (Section 2.1), and Cole's skeleton analyses — cited as prior work —
+// priced skeletons on a 2-D grid. This bench prices the two
+// tree-reduction motifs' message traffic under four interconnects:
+// network load = total hop count of all inter-processor messages.
+//
+// Expected shape: Tree-Reduce-2's labelling (fewer remote messages) beats
+// Tree-Reduce-1 on every topology, and the gap widens on low-bisection
+// networks (ring > mesh > hypercube > complete), where each remote
+// message costs its routing distance.
+#include <benchmark/benchmark.h>
+
+#include "motifs/tree.hpp"
+#include "motifs/tree_reduce.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+namespace {
+
+using IntTree = m::Tree<long, char>;
+
+long add(const char&, const long& a, const long& b) { return a + b; }
+
+IntTree::Ptr make_tree(std::size_t leaves) {
+  rt::Rng rng(909);
+  return m::random_tree<long, char>(
+      rng, leaves, [](rt::Rng& r) { return long(r.below(10)); },
+      [](rt::Rng&) { return '+'; });
+}
+
+rt::Topology topo_of(int code) {
+  switch (code) {
+    case 0:
+      return rt::Topology::Complete;
+    case 1:
+      return rt::Topology::Hypercube;
+    case 2:
+      return rt::Topology::Mesh2D;
+    default:
+      return rt::Topology::Ring;
+  }
+}
+
+const char* topo_name(int code) {
+  switch (code) {
+    case 0:
+      return "complete";
+    case 1:
+      return "hypercube";
+    case 2:
+      return "mesh";
+    default:
+      return "ring";
+  }
+}
+
+template <class F>
+void run_case(benchmark::State& state, F reduce) {
+  const auto procs = static_cast<std::uint32_t>(state.range(0));
+  const int topo = static_cast<int>(state.range(1));
+  auto tree = make_tree(4096);
+  std::uint64_t hops = 0, remote = 0;
+  for (auto _ : state) {
+    rt::Machine mach({.nodes = procs, .workers = 2, .batch = 64, .seed = 5,
+                      .topology = topo_of(topo)});
+    benchmark::DoNotOptimize(reduce(mach, tree));
+    auto s = mach.load_summary();
+    hops = s.total_hops;
+    remote = s.remote_msgs;
+  }
+  state.SetLabel(topo_name(topo));
+  state.counters["total_hops"] = static_cast<double>(hops);
+  state.counters["remote_msgs"] = static_cast<double>(remote);
+  state.counters["hops_per_msg"] =
+      remote ? static_cast<double>(hops) / static_cast<double>(remote) : 0;
+}
+
+void BM_TR1_Network(benchmark::State& state) {
+  run_case(state, [](rt::Machine& mach, const IntTree::Ptr& t) {
+    return m::tree_reduce1<long, char>(mach, t, add);
+  });
+}
+
+void BM_TR2_Network(benchmark::State& state) {
+  run_case(state, [](rt::Machine& mach, const IntTree::Ptr& t) {
+    return m::tree_reduce2<long, char>(mach, t, add);
+  });
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (int procs : {16, 64}) {
+    for (int topo : {0, 1, 2, 3}) {
+      b->Args({procs, topo});
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_TR1_Network)->Apply(args);
+BENCHMARK(BM_TR2_Network)->Apply(args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

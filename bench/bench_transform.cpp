@@ -1,0 +1,106 @@
+// Experiment E6 (DESIGN.md §4): motif reuse is cheap — "The first
+// [tree-reduction motif] is implemented with five lines of code, and the
+// second with a page of library code", and the transformations are
+// applied automatically (Section 3.6), so they must be fast even on large
+// applications.
+//
+// Series: application size (the eval table is replicated k times with
+// distinct operator names) x the full Server o Rand o Tree1 pipeline.
+// Reported: clauses in, clauses out, wall time per clause.
+//
+// Also reports the "incremental cost" accounting of Section 3.6: motif
+// client code (what the user writes) vs generated code.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "transform/motif.hpp"
+#include "transform/rand.hpp"
+#include "transform/server.hpp"
+#include "transform/tree.hpp"
+
+namespace tf = motif::transform;
+using motif::term::Program;
+
+namespace {
+
+Program synthetic_app(int k) {
+  std::string src;
+  for (int i = 0; i < k; ++i) {
+    const std::string op = "op" + std::to_string(i);
+    src += "eval(" + op + ",L,R,V) :- V is L + R.\n";
+    src += "helper_" + std::to_string(i) + "(X,Y) :- Y is X * 2.\n";
+  }
+  src += "eval('+',L,R,V) :- V is L + R.\n";
+  return Program::parse(src);
+}
+
+void BM_FullMotifPipeline(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Program app = synthetic_app(k);
+  auto motif = tf::tree_reduce1_motif();
+  std::size_t out_clauses = 0;
+  for (auto _ : state) {
+    Program out = motif.apply(app);
+    out_clauses = out.clauses().size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["clauses_in"] = static_cast<double>(app.clauses().size());
+  state.counters["clauses_out"] = static_cast<double>(out_clauses);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(app.clauses().size()));
+}
+
+void BM_ParsePrintRoundTrip(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Program app = synthetic_app(k);
+  const std::string src = app.to_source();
+  for (auto _ : state) {
+    Program p = Program::parse(src);
+    std::string s = p.to_source();
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+
+void BM_CallGraphAnalysis(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Program app = tf::rand_motif().apply(
+      tf::tree1_motif().apply(synthetic_app(k)));
+  for (auto _ : state) {
+    auto s = tf::needs_dt(app);
+    benchmark::DoNotOptimize(s);
+  }
+}
+
+void BM_IncrementalCostAccounting(benchmark::State& state) {
+  // Section 3.6: user code vs motif-provided code for Tree-Reduce-1 and
+  // Tree-Reduce-2 — the user writes only eval/4 (2 clauses here).
+  Program user = Program::parse(
+      "eval('+',L,R,V) :- V is L + R.\neval('*',L,R,V) :- V is L * R.\n");
+  for (auto _ : state) {
+    Program tr1 = tf::tree_reduce1_motif().apply(user);
+    Program tr2 = tf::tree_reduce2_full_motif().apply(user);
+    benchmark::DoNotOptimize(tr1);
+    state.counters["user_clauses"] =
+        static_cast<double>(user.clauses().size());
+    state.counters["tr1_total_clauses"] =
+        static_cast<double>(tr1.clauses().size());
+    state.counters["tr2_total_clauses"] =
+        static_cast<double>(tr2.clauses().size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_FullMotifPipeline)->Arg(1)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.02);
+BENCHMARK(BM_ParsePrintRoundTrip)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.02);
+BENCHMARK(BM_CallGraphAnalysis)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.02);
+BENCHMARK(BM_IncrementalCostAccounting)->Unit(benchmark::kMillisecond)
+    ->MinTime(0.02);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// The search motif (paper Sections 1 and 4): or-parallel exploration of
+// the n-queens tree — count all solutions, find one, and show the
+// branch-and-bound variant on a knapsack.
+//
+// Build & run:   ./build/examples/nqueens_search [n]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "motifs/search.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+namespace {
+
+struct Queens {
+  int n;
+  std::vector<int> cols;
+  bool ok(int c) const {
+    const int r = static_cast<int>(cols.size());
+    for (int i = 0; i < r; ++i) {
+      if (cols[i] == c || std::abs(cols[i] - c) == r - i) return false;
+    }
+    return true;
+  }
+};
+
+std::vector<Queens> expand(const Queens& q) {
+  std::vector<Queens> out;
+  if (static_cast<int>(q.cols.size()) == q.n) return out;
+  for (int c = 0; c < q.n; ++c) {
+    if (q.ok(c)) {
+      Queens next = q;
+      next.cols.push_back(c);
+      out.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+bool solved(const Queens& q) {
+  return static_cast<int>(q.cols.size()) == q.n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 9;
+  rt::Machine machine({.nodes = 8, .workers = 2});
+
+  const auto count =
+      m::count_solutions<Queens>(machine, Queens{n, {}}, expand, solved, 3);
+  std::printf("%d-queens: %llu solutions\n", n,
+              static_cast<unsigned long long>(count));
+
+  auto one = m::find_first<Queens>(machine, Queens{n, {}}, expand, solved, 3);
+  if (one) {
+    std::printf("one solution: ");
+    for (int c : one->cols) std::printf("%d ", c);
+    std::printf("\n");
+  }
+
+  // Branch & bound: 0/1 knapsack.
+  struct Item {
+    std::int64_t w, v;
+  };
+  std::vector<Item> items = {{5, 10}, {4, 40}, {6, 30}, {3, 50},
+                             {2, 12}, {7, 20}, {1, 8},  {4, 18}};
+  const std::int64_t cap = 12;
+  struct Knap {
+    std::size_t idx = 0;
+    std::int64_t w = 0, v = 0;
+  };
+  auto kexpand = [&](const Knap& k) {
+    std::vector<Knap> out;
+    if (k.idx == items.size()) return out;
+    out.push_back({k.idx + 1, k.w, k.v});
+    if (k.w + items[k.idx].w <= cap) {
+      out.push_back({k.idx + 1, k.w + items[k.idx].w, k.v + items[k.idx].v});
+    }
+    return out;
+  };
+  auto best = m::branch_and_bound<Knap>(
+      machine, Knap{}, kexpand, [](const Knap& k) { return k.v; },
+      [&](const Knap& k) {
+        std::int64_t b = k.v;
+        for (std::size_t i = k.idx; i < items.size(); ++i) b += items[i].v;
+        return b;
+      },
+      3);
+  std::printf("knapsack(cap=%lld): best value %lld\n",
+              static_cast<long long>(cap),
+              static_cast<long long>(best.value_or(-1)));
+  return 0;
+}

@@ -1,0 +1,92 @@
+// The scheduler motif end to end (paper Section 2.2 / reference [6]): a
+// task farm in the high-level language. The user writes ordinary code
+// with @task pragmas; the Sched transformation + manager/worker library
+// + Server motif turn it into a running parallel program; prime-counting
+// tasks are dealt to idle workers.
+//
+// Build & run:   ./build/examples/task_farm [ranges]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "interp/interp.hpp"
+#include "transform/motif.hpp"
+#include "transform/sched.hpp"
+#include "transform/server.hpp"
+
+namespace tf = motif::transform;
+namespace in = motif::interp;
+using motif::term::ProcKey;
+using motif::term::Program;
+
+int main(int argc, char** argv) {
+  const int ranges = argc > 1 ? std::atoi(argv[1]) : 12;
+
+  // Count primes in [Lo, Lo+99] per task; sum the per-range counts.
+  const char* kApp = R"(
+    main(N, Counts) :- spawn_ranges(N, Counts), watch(Counts).
+    spawn_ranges(0, Cs) :- Cs := [].
+    spawn_ranges(N, Cs) :- N > 0 |
+        Cs := [C|Cs1],
+        Lo is N * 100,
+        count_primes(Lo, C)@task,
+        N1 is N - 1,
+        spawn_ranges(N1, Cs1).
+
+    count_primes(Lo, C) :- Hi is Lo + 99, count_loop(Lo, Hi, 0, C).
+    count_loop(K, Hi, Acc, C) :- K > Hi | C := Acc.
+    count_loop(K, Hi, Acc, C) :- K =< Hi |
+        is_prime(K, P),
+        bump(P, Acc, Acc1),
+        K1 is K + 1,
+        count_loop(K1, Hi, Acc1, C).
+
+    bump(yes, Acc, Acc1) :- Acc1 is Acc + 1.
+    bump(no, Acc, Acc1) :- Acc1 := Acc.
+
+    is_prime(K, P) :- K < 2 | P := no.
+    is_prime(2, P) :- P := yes.
+    is_prime(K, P) :- K > 2 | trial(K, 2, P).
+    trial(K, D, P) :- D * D > K | P := yes.
+    trial(K, D, P) :- D * D =< K, K mod D =:= 0 | P := no.
+    trial(K, D, P) :- D * D =< K, K mod D =\= 0 |
+        D1 is D + 1, trial(K, D1, P).
+
+    watch([]) :- halt.
+    watch([C|Cs]) :- data(C) | watch(Cs).
+  )";
+
+  Program full = tf::compose(tf::server_motif(),
+                             tf::sched_motif({ProcKey{"main", 2}}))
+                     .apply(Program::parse(kApp));
+
+  in::InterpOptions opts;
+  opts.nodes = 5;  // manager + 4 workers
+  opts.workers = 2;
+  in::Interp interp(full, opts);
+  auto [goal, stats] = interp.run_query(
+      "create(5, task(main(" + std::to_string(ranges) + ", Counts)))");
+
+  auto counts = goal.arg(1).arg(0).arg(1).proper_list();
+  if (!counts) {
+    std::puts("scheduler did not complete");
+    return 1;
+  }
+  long total = 0;
+  std::printf("primes per 100-range (high to low): ");
+  for (const auto& c : *counts) {
+    std::printf("%lld ", static_cast<long long>(c.int_value()));
+    total += c.int_value();
+  }
+  std::printf("\ntotal primes in [100, %d00): %ld\n", ranges + 1, total);
+  std::printf("reductions=%llu  remote msgs=%llu\n",
+              static_cast<unsigned long long>(stats.reductions),
+              static_cast<unsigned long long>(stats.load.remote_msgs));
+  // Worker utilisation.
+  for (motif::rt::NodeId n = 1; n < 5; ++n) {
+    std::printf("worker %u handled %llu machine tasks\n", n + 1,
+                static_cast<unsigned long long>(
+                    interp.machine().counters(n).tasks.load()));
+  }
+  return stats.deadlocked() ? 1 : 0;
+}

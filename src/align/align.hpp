@@ -1,0 +1,9 @@
+// Umbrella header for the alignment application substrate (paper
+// Section 3's computational-biology case study, synthesised).
+#pragma once
+
+#include "align/msa.hpp"
+#include "align/nw.hpp"
+#include "align/phylo.hpp"
+#include "align/profile.hpp"
+#include "align/sequence.hpp"

@@ -1,0 +1,167 @@
+#include "align/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "align/sequence.hpp"
+
+namespace motif::align {
+
+Profile::Profile(const std::string& seq) {
+  cols_.reserve(seq.size());
+  for (char c : seq) {
+    Column col{};
+    const int ix = symbol_index(c);
+    col[static_cast<std::size_t>(ix < 0 ? 4 : ix)] = 1.0f;
+    cols_.push_back(col);
+  }
+  depth_ = 1;
+  tracked_.resize(footprint());
+}
+
+Profile Profile::assemble(std::vector<Column> cols, std::size_t depth) {
+  Profile p;
+  p.cols_ = std::move(cols);
+  p.depth_ = depth;
+  p.tracked_.resize(p.footprint());
+  return p;
+}
+
+std::string Profile::consensus() const {
+  std::string out;
+  out.reserve(cols_.size());
+  for (const auto& col : cols_) {
+    const std::size_t best =
+        static_cast<std::size_t>(std::max_element(col.begin(), col.end()) -
+                                 col.begin());
+    out.push_back(best == 4 ? kGap : kAlphabet[best]);
+  }
+  return out;
+}
+
+double Profile::mean_entropy() const {
+  if (cols_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& col : cols_) {
+    double n = 0.0;
+    for (float f : col) n += f;
+    if (n <= 0.0) continue;
+    double h = 0.0;
+    for (float f : col) {
+      if (f > 0.0f) {
+        const double q = f / n;
+        h -= q * std::log2(q);
+      }
+    }
+    total += h;
+  }
+  return total / static_cast<double>(cols_.size());
+}
+
+double column_score(const Column& a, const Column& b, const NWParams& p) {
+  double na = 0.0, nb = 0.0;
+  for (float f : a) na += f;
+  for (float f : b) nb += f;
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      if (a[i] <= 0.0f || b[j] <= 0.0f) continue;
+      double unit;
+      if (i == 4 || j == 4) {
+        unit = (i == j) ? 0.0 : p.gap;  // gap-gap is neutral
+      } else {
+        unit = (i == j) ? p.match : p.mismatch;
+      }
+      s += static_cast<double>(a[i]) * static_cast<double>(b[j]) * unit;
+    }
+  }
+  return s / (na * nb);
+}
+
+namespace {
+Column gap_column(float weight) {
+  Column c{};
+  c[4] = weight;
+  return c;
+}
+
+Column merge_columns(const Column& a, const Column& b) {
+  Column out{};
+  for (std::size_t i = 0; i < 5; ++i) out[i] = a[i] + b[i];
+  return out;
+}
+}  // namespace
+
+Profile align_profiles(const Profile& a, const Profile& b,
+                       const ProfileAlignParams& params) {
+  const std::size_t n = a.length(), m = b.length();
+  const NWParams& p = params.pairwise;
+  const double gp = p.gap;
+
+  std::vector<std::vector<double>> dp(n + 1, std::vector<double>(m + 1));
+  for (std::size_t i = 0; i <= n; ++i) dp[i][0] = static_cast<double>(i) * gp;
+  for (std::size_t j = 0; j <= m; ++j) dp[0][j] = static_cast<double>(j) * gp;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double diag =
+          dp[i - 1][j - 1] + column_score(a.column(i - 1), b.column(j - 1), p);
+      dp[i][j] = std::max({diag, dp[i - 1][j] + gp, dp[i][j - 1] + gp});
+    }
+  }
+  // Traceback, assembling merged columns.
+  std::vector<Column> cols;
+  cols.reserve(std::max(n, m));
+  std::size_t i = n, j = m;
+  const float da = static_cast<float>(a.depth());
+  const float db = static_cast<float>(b.depth());
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 &&
+        dp[i][j] == dp[i - 1][j - 1] +
+                        column_score(a.column(i - 1), b.column(j - 1), p)) {
+      cols.push_back(merge_columns(a.column(i - 1), b.column(j - 1)));
+      --i;
+      --j;
+    } else if (i > 0 && dp[i][j] == dp[i - 1][j] + gp) {
+      cols.push_back(merge_columns(a.column(i - 1), gap_column(db)));
+      --i;
+    } else {
+      cols.push_back(merge_columns(gap_column(da), b.column(j - 1)));
+      --j;
+    }
+  }
+  std::reverse(cols.begin(), cols.end());
+  return Profile::assemble(std::move(cols), a.depth() + b.depth());
+}
+
+double sum_of_pairs(const Profile& p, const NWParams& params) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < p.length(); ++i) {
+    const Column& col = p.column(i);
+    // Pairs within the column: match pairs of identical symbols,
+    // mismatch pairs of different non-gap symbols, gap pairs.
+    for (std::size_t x = 0; x < 5; ++x) {
+      for (std::size_t y = x; y < 5; ++y) {
+        double pairs;
+        if (x == y) {
+          pairs = static_cast<double>(col[x]) * (col[x] - 1.0) / 2.0;
+        } else {
+          pairs = static_cast<double>(col[x]) * col[y];
+        }
+        if (pairs <= 0.0) continue;
+        double unit;
+        if (x == 4 && y == 4) {
+          unit = 0.0;
+        } else if (x == 4 || y == 4) {
+          unit = params.gap;
+        } else {
+          unit = (x == y) ? params.match : params.mismatch;
+        }
+        s += pairs * unit;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace motif::align

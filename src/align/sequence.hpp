@@ -1,0 +1,50 @@
+// RNA sequences and a simple evolutionary mutation model.
+//
+// The paper's motivating application (Section 3) is the "generation of
+// alignments of multiple sequences of RNA from different but related
+// organisms". The real data and align-node code were proprietary and
+// incomplete ("still being implemented"); this module provides the
+// synthetic equivalent: families of related sequences produced by
+// evolving a root sequence down a phylogenetic tree with substitutions
+// and indels — which gives the tree-reduction workload the paper's two
+// relevant properties: non-uniform node costs and large intermediates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace motif::align {
+
+/// RNA alphabet; '-' is the gap symbol used by alignments.
+inline constexpr char kAlphabet[] = {'A', 'C', 'G', 'U'};
+inline constexpr int kAlphabetSize = 4;
+inline constexpr char kGap = '-';
+
+/// 0..3 for ACGU, 4 for gap; -1 otherwise.
+int symbol_index(char c);
+
+/// True if every character is one of ACGU.
+bool valid_rna(const std::string& s);
+
+/// Uniform random sequence of length n.
+std::string random_sequence(rt::Rng& rng, std::size_t n);
+
+struct MutationModel {
+  double substitution_rate = 0.03;  // per site per unit branch length
+  double insertion_rate = 0.002;
+  double deletion_rate = 0.002;
+  std::size_t max_indel = 3;
+};
+
+/// Evolves `parent` along a branch of length `t`: each site mutates with
+/// probability ~rate*t; indels insert/delete short runs.
+std::string evolve(const std::string& parent, double t,
+                   const MutationModel& model, rt::Rng& rng);
+
+/// Hamming-style identity fraction of the aligned prefix (diagnostic).
+double identity(const std::string& a, const std::string& b);
+
+}  // namespace motif::align

@@ -1,0 +1,229 @@
+#include "interp/arith.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace motif::interp {
+
+using term::Term;
+
+namespace {
+
+bool is_evaluable_functor(const std::string& f, std::size_t arity) {
+  if (arity == 2) {
+    return f == "+" || f == "-" || f == "*" || f == "/" || f == "//" ||
+           f == "mod" || f == "min" || f == "max";
+  }
+  if (arity == 1) return f == "abs" || f == "-";
+  return false;
+}
+
+Number apply2(const std::string& op, const Number& a, const Number& b) {
+  const bool both_int = std::holds_alternative<std::int64_t>(a) &&
+                        std::holds_alternative<std::int64_t>(b);
+  auto as_d = [](const Number& n) {
+    return std::holds_alternative<std::int64_t>(n)
+               ? static_cast<double>(std::get<std::int64_t>(n))
+               : std::get<double>(n);
+  };
+  if (both_int) {
+    const std::int64_t x = std::get<std::int64_t>(a);
+    const std::int64_t y = std::get<std::int64_t>(b);
+    if (op == "+") return x + y;
+    if (op == "-") return x - y;
+    if (op == "*") return x * y;
+    if (op == "/" || op == "//") {
+      if (y == 0) throw ArithError("division by zero");
+      return x / y;
+    }
+    if (op == "mod") {
+      if (y == 0) throw ArithError("mod by zero");
+      return ((x % y) + y) % y;  // mathematical mod
+    }
+    if (op == "min") return std::min(x, y);
+    if (op == "max") return std::max(x, y);
+  } else {
+    const double x = as_d(a), y = as_d(b);
+    if (op == "+") return x + y;
+    if (op == "-") return x - y;
+    if (op == "*") return x * y;
+    if (op == "/") {
+      if (y == 0.0) throw ArithError("division by zero");
+      return x / y;
+    }
+    if (op == "//") {
+      if (y == 0.0) throw ArithError("division by zero");
+      return std::trunc(x / y);
+    }
+    if (op == "mod") throw ArithError("mod needs integers");
+    if (op == "min") return std::min(x, y);
+    if (op == "max") return std::max(x, y);
+  }
+  throw ArithError("unknown arithmetic operator: " + op);
+}
+
+}  // namespace
+
+bool looks_arithmetic(const Term& t) {
+  Term d = t.deref();
+  // A bare variable is NOT treated as arithmetic: `X := Y` aliases.
+  if (d.is_var()) return false;
+  if (d.is_number()) return true;
+  if (d.is_compound() && !d.is_cons() && !d.is_tuple()) {
+    return is_evaluable_functor(d.functor(), d.arity());
+  }
+  return false;
+}
+
+ArithResult eval_arith(const Term& t) {
+  Term d = t.deref();
+  if (d.is_var()) return Suspended{d};
+  if (d.is_int()) return Number{d.int_value()};
+  if (d.is_float()) return Number{d.float_value()};
+  if (d.is_compound() && is_evaluable_functor(d.functor(), d.arity())) {
+    if (d.arity() == 1) {
+      auto a = eval_arith(d.arg(0));
+      if (std::holds_alternative<Suspended>(a)) return a;
+      const Number& n = std::get<Number>(a);
+      if (d.functor() == "abs") {
+        if (std::holds_alternative<std::int64_t>(n)) {
+          return Number{std::abs(std::get<std::int64_t>(n))};
+        }
+        return Number{std::fabs(std::get<double>(n))};
+      }
+      // unary minus
+      if (std::holds_alternative<std::int64_t>(n)) {
+        return Number{-std::get<std::int64_t>(n)};
+      }
+      return Number{-std::get<double>(n)};
+    }
+    auto a = eval_arith(d.arg(0));
+    if (std::holds_alternative<Suspended>(a)) return a;
+    auto b = eval_arith(d.arg(1));
+    if (std::holds_alternative<Suspended>(b)) return b;
+    return apply2(d.functor(), std::get<Number>(a), std::get<Number>(b));
+  }
+  throw ArithError("not an arithmetic expression: " + d.to_string());
+}
+
+Term number_to_term(const Number& n) {
+  if (std::holds_alternative<std::int64_t>(n)) {
+    return Term::integer(std::get<std::int64_t>(n));
+  }
+  return Term::real(std::get<double>(n));
+}
+
+bool number_less(const Number& a, const Number& b) {
+  auto as_d = [](const Number& n) {
+    return std::holds_alternative<std::int64_t>(n)
+               ? static_cast<double>(std::get<std::int64_t>(n))
+               : std::get<double>(n);
+  };
+  if (std::holds_alternative<std::int64_t>(a) &&
+      std::holds_alternative<std::int64_t>(b)) {
+    return std::get<std::int64_t>(a) < std::get<std::int64_t>(b);
+  }
+  return as_d(a) < as_d(b);
+}
+
+bool number_equal(const Number& a, const Number& b) {
+  return !number_less(a, b) && !number_less(b, a);
+}
+
+namespace {
+
+/// Structural ==/=\= that suspends on the first unbound variable pair
+/// preventing a decision.
+GuardResult struct_equal(const Term& a, const Term& b) {
+  Term x = a.deref(), y = b.deref();
+  if (x.is_var() && y.is_var() && x.same_node(y)) return {Truth::Yes, {}};
+  if (x.is_var()) return {Truth::Suspend, x};
+  if (y.is_var()) return {Truth::Suspend, y};
+  if (x.is_number() && y.is_number()) {
+    bool eq = x.is_int() == y.is_int() &&
+              (x.is_int() ? x.int_value() == y.int_value()
+                          : x.float_value() == y.float_value());
+    return {eq ? Truth::Yes : Truth::No, {}};
+  }
+  if (x.tag() != y.tag()) return {Truth::No, {}};
+  switch (x.tag()) {
+    case term::Tag::Atom:
+      return {x.functor() == y.functor() ? Truth::Yes : Truth::No, {}};
+    case term::Tag::Str:
+      return {x.str_value() == y.str_value() ? Truth::Yes : Truth::No, {}};
+    case term::Tag::Compound: {
+      if (x.functor() != y.functor() || x.arity() != y.arity()) {
+        return {Truth::No, {}};
+      }
+      for (std::size_t i = 0; i < x.arity(); ++i) {
+        auto r = struct_equal(x.arg(i), y.arg(i));
+        if (r.truth != Truth::Yes) return r;
+      }
+      return {Truth::Yes, {}};
+    }
+    default:
+      return {Truth::No, {}};
+  }
+}
+
+}  // namespace
+
+GuardResult eval_comparison(const std::string& op, const Term& lhs,
+                            const Term& rhs) {
+  if (op == "==" || op == "\\==") {
+    // Structural comparison with suspension (Strand's ==).
+    auto r = struct_equal(lhs, rhs);
+    if (r.truth == Truth::Suspend) return r;
+    const bool want_equal = (op == "==");
+    const bool eq = (r.truth == Truth::Yes);
+    return {eq == want_equal ? Truth::Yes : Truth::No, {}};
+  }
+  auto a = eval_arith(lhs);
+  if (std::holds_alternative<Suspended>(a)) {
+    return {Truth::Suspend, std::get<Suspended>(a).var};
+  }
+  auto b = eval_arith(rhs);
+  if (std::holds_alternative<Suspended>(b)) {
+    return {Truth::Suspend, std::get<Suspended>(b).var};
+  }
+  const Number& x = std::get<Number>(a);
+  const Number& y = std::get<Number>(b);
+  bool r;
+  if (op == "<") {
+    r = number_less(x, y);
+  } else if (op == ">") {
+    r = number_less(y, x);
+  } else if (op == "=<") {
+    r = !number_less(y, x);
+  } else if (op == ">=") {
+    r = !number_less(x, y);
+  } else if (op == "=:=") {
+    r = number_equal(x, y);
+  } else if (op == "=\\=") {
+    r = !number_equal(x, y);
+  } else {
+    throw ArithError("unknown comparison: " + op);
+  }
+  return {r ? Truth::Yes : Truth::No, {}};
+}
+
+std::optional<GuardResult> eval_type_test(const std::string& name,
+                                          const Term& arg) {
+  Term d = arg.deref();
+  auto need_data = [&](auto pred) -> GuardResult {
+    if (d.is_var()) return {Truth::Suspend, d};
+    return {pred() ? Truth::Yes : Truth::No, {}};
+  };
+  if (name == "integer") return need_data([&] { return d.is_int(); });
+  if (name == "float") return need_data([&] { return d.is_float(); });
+  if (name == "number") return need_data([&] { return d.is_number(); });
+  if (name == "string") return need_data([&] { return d.is_str(); });
+  if (name == "atom") return need_data([&] { return d.is_atom(); });
+  if (name == "list") return need_data([&] { return d.is_list_cell(); });
+  if (name == "tuple") return need_data([&] { return d.is_tuple(); });
+  if (name == "compound") return need_data([&] { return d.is_compound(); });
+  if (name == "data") return need_data([] { return true; });
+  return std::nullopt;
+}
+
+}  // namespace motif::interp

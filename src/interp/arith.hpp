@@ -1,0 +1,66 @@
+// Arithmetic and comparison evaluation over terms, with dataflow
+// suspension: an expression containing an unbound variable does not fail —
+// it reports the variable so the interpreter can suspend the process until
+// the variable is bound (the synchronisation mechanism of Section 2.1:
+// "the availability of data serves as the synchronization mechanism").
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <variant>
+
+#include "term/term.hpp"
+
+namespace motif::interp {
+
+/// Raised for type errors (e.g. `1 + foo`), division by zero, unknown
+/// evaluable functors.
+class ArithError : public std::runtime_error {
+ public:
+  explicit ArithError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Result of evaluating an expression: a number, or the unbound variable
+/// the evaluation is waiting on.
+struct Suspended {
+  term::Term var;
+};
+using Number = std::variant<std::int64_t, double>;
+using ArithResult = std::variant<Number, Suspended>;
+
+/// Evaluates `t` as an arithmetic expression. Supported: integers, floats,
+/// binary + - * / // mod min max, unary abs. `/` is integer division when
+/// both operands are integers, real otherwise; `//` always truncates.
+ArithResult eval_arith(const term::Term& t);
+
+/// True if `t` is the root of an arithmetic expression (a number or an
+/// evaluable functor; a bare variable is NOT arithmetic — `X := Y`
+/// aliases). Used by `:=` to decide between arithmetic evaluation and
+/// data assignment.
+bool looks_arithmetic(const term::Term& t);
+
+/// Tri-state outcome of a guard test.
+enum class Truth { Yes, No, Suspend };
+
+struct GuardResult {
+  Truth truth;
+  term::Term suspend_var;  // meaningful iff truth == Suspend
+};
+
+/// Evaluates a comparison guard: < > =< >= == =\= =:= over numbers,
+/// == / =\= also over ground non-numeric terms (structural equality).
+GuardResult eval_comparison(const std::string& op, const term::Term& lhs,
+                            const term::Term& rhs);
+
+/// Type-test guards: integer/1 number/1 float/1 string/1 list/1 tuple/1
+/// atom/1 compound/1 data/1 (data suspends until its argument is bound).
+/// Returns nullopt if `name` is not a type test.
+std::optional<GuardResult> eval_type_test(const std::string& name,
+                                          const term::Term& arg);
+
+/// Number helpers.
+term::Term number_to_term(const Number& n);
+bool number_less(const Number& a, const Number& b);
+bool number_equal(const Number& a, const Number& b);
+
+}  // namespace motif::interp

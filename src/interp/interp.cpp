@@ -1,0 +1,817 @@
+#include "interp/interp.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "interp/arith.hpp"
+#include "term/subst.hpp"
+#include "term/writer.hpp"
+
+namespace motif::interp {
+
+using term::Clause;
+using term::ProcKey;
+using term::Term;
+
+namespace {
+
+/// Outcome of trying one rule against a goal.
+enum class RuleOutcome { Commit, Fail, Suspend };
+
+/// Input-only head matching: pattern variables bind (into `b`); a
+/// non-variable pattern against an unbound goal variable suspends.
+RuleOutcome head_match(const Term& pattern, const Term& value,
+                       term::Bindings& b, Term& suspend_var) {
+  Term p = pattern.deref();
+  Term v = value.deref();
+  if (p.is_var()) {
+    auto it = b.find(p);
+    if (it == b.end()) {
+      b.emplace(p, v);
+      return RuleOutcome::Commit;
+    }
+    // Repeated head variable: requires equality of the two goal subterms.
+    Term prev = it->second.deref();
+    Term now = v;
+    if (prev.same_node(now)) return RuleOutcome::Commit;
+    if (prev.is_var()) {
+      suspend_var = prev;
+      return RuleOutcome::Suspend;
+    }
+    if (now.is_var()) {
+      suspend_var = now;
+      return RuleOutcome::Suspend;
+    }
+    return prev.equals(now) ? RuleOutcome::Commit : RuleOutcome::Fail;
+  }
+  if (v.is_var()) {
+    suspend_var = v;
+    return RuleOutcome::Suspend;
+  }
+  if (p.tag() != v.tag()) return RuleOutcome::Fail;
+  switch (p.tag()) {
+    case term::Tag::Atom:
+      return p.functor() == v.functor() ? RuleOutcome::Commit
+                                        : RuleOutcome::Fail;
+    case term::Tag::Int:
+      return p.int_value() == v.int_value() ? RuleOutcome::Commit
+                                            : RuleOutcome::Fail;
+    case term::Tag::Float:
+      return p.float_value() == v.float_value() ? RuleOutcome::Commit
+                                                : RuleOutcome::Fail;
+    case term::Tag::Str:
+      return p.str_value() == v.str_value() ? RuleOutcome::Commit
+                                            : RuleOutcome::Fail;
+    case term::Tag::Compound: {
+      if (p.functor() != v.functor() || p.arity() != v.arity()) {
+        return RuleOutcome::Fail;
+      }
+      for (std::size_t i = 0; i < p.arity(); ++i) {
+        auto r = head_match(p.arg(i), v.arg(i), b, suspend_var);
+        if (r != RuleOutcome::Commit) return r;
+      }
+      return RuleOutcome::Commit;
+    }
+    case term::Tag::Var:
+      return RuleOutcome::Fail;  // unreachable
+  }
+  return RuleOutcome::Fail;
+}
+
+bool is_comparison(const std::string& f, std::size_t arity) {
+  if (arity != 2) return false;
+  return f == "<" || f == ">" || f == "=<" || f == ">=" || f == "==" ||
+         f == "=\\=" || f == "\\==" || f == "=:=";
+}
+
+}  // namespace
+
+struct Interp::Impl {
+  Interp* self = nullptr;
+  rt::Machine* machine = nullptr;
+  const term::Program* program = nullptr;
+  InterpOptions options;
+
+  // Definition index built once at construction. The per-definition
+  // counter lives next to the rules (stable address; relaxed atomic).
+  struct DefEntry {
+    std::vector<Clause> rules;
+    std::atomic<std::uint64_t> commits{0};
+  };
+  std::map<ProcKey, DefEntry> defs;
+
+  std::atomic<std::uint64_t> reductions{0};
+  std::atomic<std::uint64_t> suspensions{0};
+
+  // Registry of currently suspended processes, for deadlock diagnostics.
+  std::mutex susp_m;
+  std::uint64_t next_susp_id = 0;
+  std::map<std::uint64_t, std::string> suspended;
+
+  // Ports: multi-producer appenders onto term-level message streams (the
+  // `merge` primitive of the Server motif). A port term is '$port'(Id).
+  std::mutex ports_m;
+  std::vector<Term> port_tails;  // current unbound tail var per port
+
+  std::mutex out_m;
+  std::function<void(const std::string&)> output;
+
+  // Foreign (low-level) procedures: name/arity -> (required inputs, fn).
+  struct ForeignEntry {
+    std::size_t inputs;
+    ForeignFn fn;
+  };
+  std::map<ProcKey, ForeignEntry> foreign;
+
+  // ---- process scheduling -------------------------------------------------
+
+  void spawn_here(Term goal) {
+    machine->post_local([this, goal] { step(goal); });
+  }
+
+  void spawn_on(rt::NodeId node, Term goal) {
+    machine->post(node, [this, goal] { step(goal); });
+  }
+
+  /// Suspends `goal` on `var`: re-posts it (to the current node) when the
+  /// variable is bound. A one-shot flag guards against double wake-up.
+  void suspend(Term goal, Term var) {
+    suspensions.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t id;
+    {
+      std::lock_guard lock(susp_m);
+      id = next_susp_id++;
+      suspended.emplace(id, term::format_term(goal));
+    }
+    const rt::NodeId node = rt::Machine::current_node() == rt::kNoNode
+                                ? 0
+                                : rt::Machine::current_node();
+    auto fired = std::make_shared<std::atomic<bool>>(false);
+    var.when_bound([this, goal, node, id, fired] {
+      if (fired->exchange(true)) return;
+      {
+        std::lock_guard lock(susp_m);
+        suspended.erase(id);
+      }
+      spawn_on(node, goal);
+    });
+  }
+
+  // ---- reduction ----------------------------------------------------------
+
+  /// Runs one process, tail-looping up to options.tail_budget reductions.
+  void step(Term goal) {
+    Term current = goal;
+    for (std::uint32_t iter = 0; iter < options.tail_budget; ++iter) {
+      Term next;
+      if (!reduce_once(current, next)) return;  // done/suspended/spawned
+      current = next;
+    }
+    // Budget exhausted: yield the node by re-posting the continuation.
+    spawn_here(current);
+  }
+
+  /// Reduces `goal` by one step. Returns true and sets `tail` when the
+  /// reduction produced a tail goal to continue with in this task.
+  bool reduce_once(Term goal, Term& tail) {
+    Term g = goal.deref();
+
+    if (g.is_var()) {  // metacall on an unbound variable: wait for it
+      suspend(g, g);
+      return false;
+    }
+
+    // Placement annotation handled at the process level too (a spawned
+    // goal may itself be annotated, e.g. via metacall).
+    if (g.is_compound() && g.functor() == "@" && g.arity() == 2) {
+      return dispatch_placed(g.arg(0), g.arg(1)), false;
+    }
+
+    if (!g.is_atom() && !g.is_compound()) {
+      throw InterpError("cannot reduce non-process term: " + g.to_string());
+    }
+    if (g.is_cons() || g.is_tuple()) {
+      throw InterpError("cannot reduce data term: " + term::format_term(g));
+    }
+
+    if (try_builtin(g)) return false;
+    if (try_foreign(g)) return false;
+
+    const ProcKey key{g.functor(), g.arity()};
+    auto it = defs.find(key);
+    if (it == defs.end()) {
+      throw InterpError("undefined process: " + key.to_string());
+    }
+
+    bool saw_suspend = false;
+    Term first_suspend_var;
+    for (const Clause& rule : it->second.rules) {
+      // `otherwise` guard: commits only if no earlier rule could still
+      // apply (any earlier suspension blocks it).
+      const bool has_otherwise =
+          !rule.guard.empty() && rule.guard.front().deref().is_atom() &&
+          rule.guard.front().deref().functor() == "otherwise";
+      if (has_otherwise && saw_suspend) break;
+
+      term::Bindings fresh;
+      Term head = term::rename_fresh(rule.head, fresh);
+      term::Bindings env;
+      Term suspend_var;
+      RuleOutcome m = RuleOutcome::Commit;
+      for (std::size_t i = 0; i < head.arity() && m == RuleOutcome::Commit;
+           ++i) {
+        m = head_match(head.arg(i), g.arg(i), env, suspend_var);
+      }
+      if (m == RuleOutcome::Fail) continue;
+      if (m == RuleOutcome::Suspend) {
+        if (!saw_suspend) {
+          saw_suspend = true;
+          first_suspend_var = suspend_var;
+        }
+        continue;
+      }
+
+      // Guards.
+      bool guard_ok = true;
+      bool guard_suspend = false;
+      Term guard_var;
+      for (const Term& gt : rule.guard) {
+        Term inst = term::substitute(term::rename_fresh(gt, fresh), env);
+        auto r = eval_guard(inst);
+        if (r.truth == Truth::Yes) continue;
+        if (r.truth == Truth::No) {
+          guard_ok = false;
+          break;
+        }
+        guard_suspend = true;
+        guard_var = r.suspend_var;
+        break;
+      }
+      if (guard_suspend) {
+        if (!saw_suspend) {
+          saw_suspend = true;
+          first_suspend_var = guard_var;
+        }
+        continue;
+      }
+      if (!guard_ok) continue;
+
+      // Commit: instantiate body, spawn all but the last goal, tail the
+      // last.
+      reductions.fetch_add(1, std::memory_order_relaxed);
+      it->second.commits.fetch_add(1, std::memory_order_relaxed);
+      if (rule.body.empty()) return false;
+      std::vector<Term> body;
+      body.reserve(rule.body.size());
+      for (const Term& bt : rule.body) {
+        body.push_back(term::substitute(term::rename_fresh(bt, fresh), env));
+      }
+      for (std::size_t i = 0; i + 1 < body.size(); ++i) {
+        dispatch(body[i]);
+      }
+      tail = body.back();
+      return continue_with(tail);
+    }
+
+    if (saw_suspend) {
+      suspend(g, first_suspend_var);
+      return false;
+    }
+    throw InterpError("process failed (no rule applies): " +
+                      term::format_term(g));
+  }
+
+  /// Decides whether `tail` can be tail-looped in this task: placed goals
+  /// and builtins are dispatched immediately instead.
+  bool continue_with(Term& tail) {
+    Term d = tail.deref();
+    if (d.is_compound() && d.functor() == "@" && d.arity() == 2) {
+      dispatch_placed(d.arg(0), d.arg(1));
+      return false;
+    }
+    return true;  // user process or builtin; reduce_once handles both
+  }
+
+  /// Spawns one body goal (current node unless annotated). Builtins run
+  /// inline so that their effects (sends in particular) happen in
+  /// program order within the clause body — a message-protocol program
+  /// may rely on `send(J,init(..)), start_work(..)` meaning the init
+  /// message is en route before the work begins.
+  void dispatch(const Term& goal) {
+    Term d = goal.deref();
+    if (d.is_compound() && d.functor() == "@" && d.arity() == 2) {
+      dispatch_placed(d.arg(0), d.arg(1));
+      return;
+    }
+    if ((d.is_atom() || d.is_compound()) && !d.is_cons() && !d.is_tuple() &&
+        try_builtin(d)) {
+      return;
+    }
+    spawn_here(d);
+  }
+
+  /// Goal@Where: `random` or a 1-based integer expression.
+  void dispatch_placed(Term goal, Term where) {
+    Term w = where.deref();
+    if (w.is_atom() && w.functor() == "random") {
+      spawn_on(machine->random_node(), goal);
+      return;
+    }
+    auto r = eval_arith(w);
+    if (std::holds_alternative<Suspended>(r)) {
+      // Wait for the placement to become known, then re-dispatch.
+      suspend(Term::compound("@", {goal, w}), std::get<Suspended>(r).var);
+      return;
+    }
+    const Number& n = std::get<Number>(r);
+    if (!std::holds_alternative<std::int64_t>(n)) {
+      throw InterpError("placement must be an integer: " +
+                        term::format_term(w));
+    }
+    const std::int64_t j = std::get<std::int64_t>(n);
+    const auto count = static_cast<std::int64_t>(machine->node_count());
+    if (j < 1 || j > count) {
+      throw InterpError("placement " + std::to_string(j) +
+                        " outside 1.." + std::to_string(count));
+    }
+    spawn_on(static_cast<rt::NodeId>(j - 1), goal);
+  }
+
+  /// Executes `g` if it names a registered foreign procedure; suspends on
+  /// unbound dataflow inputs first.
+  bool try_foreign(const Term& g) {
+    auto it = foreign.find(ProcKey{g.functor(), g.arity()});
+    if (it == foreign.end()) return false;
+    const auto& args = g.args();
+    for (std::size_t i = 0; i < it->second.inputs && i < args.size(); ++i) {
+      Term d = args[i].deref();
+      if (d.is_var()) {
+        suspend(g, d);
+        return true;
+      }
+      // Inputs must also be fully ground for a low-level routine.
+      auto vars = d.variables();
+      if (!vars.empty()) {
+        suspend(g, vars.front());
+        return true;
+      }
+    }
+    std::function<bool(const Term&, const Term&)> u =
+        [this](const Term& a, const Term& b) { return unify(a, b); };
+    ForeignCall call{args, u};
+    if (!it->second.fn(call)) {
+      throw InterpError("foreign procedure failed: " + term::format_term(g));
+    }
+    return true;
+  }
+
+  // ---- unification for builtin outputs ------------------------------------
+
+  /// Full two-way unification (no occurs check), used to deliver builtin
+  /// results into caller-supplied patterns (e.g. make_ports(2,Ps,[I1,I2])).
+  /// User-level rule heads still use input-only matching.
+  bool unify(const Term& a, const Term& b) {
+    Term x = a.deref(), y = b.deref();
+    if (x.same_node(y)) return true;
+    if (x.is_var() || y.is_var()) {
+      Term var = x.is_var() ? x : y;
+      Term val = x.is_var() ? y : x;
+      try {
+        var.bind(val);
+        return true;
+      } catch (const term::BindError&) {
+        // Lost a race with a concurrent binder; recheck structurally.
+        return unify(var, val);
+      }
+    }
+    if (x.tag() != y.tag()) return false;
+    switch (x.tag()) {
+      case term::Tag::Atom:
+        return x.functor() == y.functor();
+      case term::Tag::Int:
+        return x.int_value() == y.int_value();
+      case term::Tag::Float:
+        return x.float_value() == y.float_value();
+      case term::Tag::Str:
+        return x.str_value() == y.str_value();
+      case term::Tag::Compound: {
+        if (x.functor() != y.functor() || x.arity() != y.arity()) return false;
+        for (std::size_t i = 0; i < x.arity(); ++i) {
+          if (!unify(x.arg(i), y.arg(i))) return false;
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  void unify_output(const Term& pattern, const Term& value, const Term& ctx) {
+    if (!unify(pattern, value)) {
+      throw InterpError("builtin output mismatch in " +
+                        term::format_term(ctx));
+    }
+  }
+
+  // ---- guards -------------------------------------------------------------
+
+  GuardResult eval_guard(const Term& g) {
+    Term d = g.deref();
+    if (d.is_var()) return {Truth::Suspend, d};
+    if (d.is_atom() && d.functor() == "true") return {Truth::Yes, {}};
+    if (d.is_atom() && d.functor() == "otherwise") return {Truth::Yes, {}};
+    if (d.is_compound() && is_comparison(d.functor(), d.arity())) {
+      return eval_comparison(d.functor(), d.arg(0), d.arg(1));
+    }
+    if ((d.is_compound() && d.arity() == 1)) {
+      if (auto r = eval_type_test(d.functor(), d.arg(0))) return *r;
+    }
+    throw InterpError("unknown guard: " + term::format_term(d));
+  }
+
+  // ---- builtins -----------------------------------------------------------
+
+  /// Executes `g` if it is a builtin; returns false if it is a user goal.
+  bool try_builtin(const Term& g) {
+    const std::string& f = g.functor();
+    const std::size_t n = g.arity();
+
+    if ((f == ":=" || f == "=") && n == 2) {
+      builtin_assign(g.arg(0), g.arg(1), /*strict_arith=*/false, g);
+      return true;
+    }
+    if (f == "is" && n == 2) {
+      builtin_assign(g.arg(0), g.arg(1), /*strict_arith=*/true, g);
+      return true;
+    }
+    if (is_comparison(f, n)) {
+      // Comparisons in a body act as assertions (used by tests).
+      auto r = eval_comparison(f, g.arg(0), g.arg(1));
+      if (r.truth == Truth::Suspend) {
+        suspend(g, r.suspend_var);
+      } else if (r.truth == Truth::No) {
+        throw InterpError("body test failed: " + term::format_term(g));
+      }
+      return true;
+    }
+    if (f == "length" && n == 2) {
+      builtin_length(g);
+      return true;
+    }
+    if (f == "rand_num" && n == 2) {
+      auto r = eval_arith(g.arg(0));
+      if (std::holds_alternative<Suspended>(r)) {
+        suspend(g, std::get<Suspended>(r).var);
+        return true;
+      }
+      const Number& num = std::get<Number>(r);
+      if (!std::holds_alternative<std::int64_t>(num)) {
+        throw InterpError("rand_num bound must be an integer");
+      }
+      const std::int64_t hi = std::get<std::int64_t>(num);
+      if (hi < 1) throw InterpError("rand_num bound must be >= 1");
+      const rt::NodeId cur = rt::Machine::current_node();
+      auto& rng = machine->rng(cur == rt::kNoNode ? 0 : cur);
+      unify_output(g.arg(1),
+                   Term::integer(1 + static_cast<std::int64_t>(rng.below(
+                       static_cast<std::uint64_t>(hi)))),
+                   g);
+      return true;
+    }
+    if (f == "make_ports" && n == 3) {
+      builtin_make_ports(g);
+      return true;
+    }
+    if (f == "distribute" && n == 3) {
+      builtin_distribute(g);
+      return true;
+    }
+    if (f == "send_all" && n == 2) {
+      builtin_send_all(g);
+      return true;
+    }
+    if (f == "make_tuple" && n == 2) {
+      builtin_make_tuple(g);
+      return true;
+    }
+    if (f == "arg" && n == 3) {
+      builtin_arg(g);
+      return true;
+    }
+    if (f == "nodes_total" && n == 1) {
+      unify_output(g.arg(0), Term::integer(machine->node_count()), g);
+      return true;
+    }
+    if (f == "current_node" && n == 1) {
+      const rt::NodeId cur = rt::Machine::current_node();
+      unify_output(g.arg(0),
+                   Term::integer(cur == rt::kNoNode ? 0 : cur + 1), g);
+      return true;
+    }
+    if ((f == "write" || f == "writeln") && n == 1) {
+      std::string s = term::format_term(g.arg(0));
+      if (f == "writeln") s += '\n';
+      std::function<void(const std::string&)> sink;
+      {
+        std::lock_guard lock(out_m);
+        sink = output;
+      }
+      if (sink) {
+        sink(s);
+      } else {
+        std::lock_guard lock(out_m);
+        std::cout << s << std::flush;
+      }
+      return true;
+    }
+    if (f == "work" && n == 1) {
+      // Synthetic low-level computation: burns a deterministic amount of
+      // CPU and records virtual cost units (used by the overhead and
+      // load-balance experiments).
+      auto r = eval_arith(g.arg(0));
+      if (std::holds_alternative<Suspended>(r)) {
+        suspend(g, std::get<Suspended>(r).var);
+        return true;
+      }
+      const std::int64_t units =
+          std::get<std::int64_t>(std::get<Number>(r));
+      volatile std::uint64_t h = 0xcbf29ce484222325ull;
+      for (std::int64_t i = 0; i < units; ++i) {
+        h = (h ^ static_cast<std::uint64_t>(i)) * 0x100000001b3ull;
+      }
+      machine->add_work(static_cast<std::uint64_t>(units < 0 ? 0 : units));
+      return true;
+    }
+    if (f == "true" && n == 0) return true;
+    return false;
+  }
+
+  void builtin_assign(const Term& lhs, const Term& rhs, bool strict_arith,
+                      const Term& whole) {
+    Term l = lhs.deref();
+    Term r = rhs.deref();
+    if (strict_arith || looks_arithmetic(r)) {
+      auto res = eval_arith(r);
+      if (std::holds_alternative<Suspended>(res)) {
+        suspend(whole, std::get<Suspended>(res).var);
+        return;
+      }
+      Term value = number_to_term(std::get<Number>(res));
+      if (!l.is_var()) {
+        // Assigning to a bound cell succeeds only if it already equals the
+        // value (useful for checks); otherwise it is the Strand run-time
+        // error.
+        if (l.equals(value)) return;
+        throw InterpError("assignment to bound variable: " +
+                          term::format_term(whole));
+      }
+      l.bind(value);
+      return;
+    }
+    if (!l.is_var()) {
+      if (l.equals(r)) return;
+      throw InterpError("assignment to bound variable: " +
+                        term::format_term(whole));
+    }
+    l.bind(r);
+  }
+
+  void builtin_length(const Term& g) {
+    Term x = g.arg(0).deref();
+    if (x.is_var()) {
+      suspend(g, x);
+      return;
+    }
+    if (x.is_tuple()) {
+      unify_output(g.arg(1),
+                   Term::integer(static_cast<std::int64_t>(x.arity())), g);
+      return;
+    }
+    // List length; suspends on an unbound spine.
+    std::int64_t count = 0;
+    Term cur = x;
+    while (cur.is_cons()) {
+      ++count;
+      cur = cur.arg(1).deref();
+    }
+    if (cur.is_var()) {
+      suspend(g, cur);
+      return;
+    }
+    if (!cur.is_nil()) {
+      throw InterpError("length/2 on improper list: " + term::format_term(x));
+    }
+    unify_output(g.arg(1), Term::integer(count), g);
+  }
+
+  // ---- ports --------------------------------------------------------------
+
+  Term new_port() {
+    std::lock_guard lock(ports_m);
+    const auto id = static_cast<std::int64_t>(port_tails.size());
+    port_tails.push_back(Term::var("PortTail"));
+    return Term::compound("$port", {Term::integer(id)});
+  }
+
+  Term port_head(const Term& port) {
+    std::lock_guard lock(ports_m);
+    return port_tails[static_cast<std::size_t>(
+        port.arg(0).int_value())];
+  }
+
+  void port_send(const Term& port, Term msg) {
+    Term p = port.deref();
+    if (!(p.is_compound() && p.functor() == "$port" && p.arity() == 1)) {
+      throw InterpError("not a port: " + term::format_term(p));
+    }
+    Term cell, fresh = Term::var("PortTail");
+    {
+      std::lock_guard lock(ports_m);
+      auto& slot =
+          port_tails[static_cast<std::size_t>(p.arg(0).int_value())];
+      cell = slot;
+      slot = fresh;
+    }
+    // Bind outside the registry lock: waking a consumer may send again.
+    cell.bind(Term::cons(std::move(msg), fresh));
+  }
+
+  void builtin_make_ports(const Term& g) {
+    auto r = eval_arith(g.arg(0));
+    if (std::holds_alternative<Suspended>(r)) {
+      suspend(g, std::get<Suspended>(r).var);
+      return;
+    }
+    const std::int64_t n = std::get<std::int64_t>(std::get<Number>(r));
+    if (n < 0) throw InterpError("make_ports count must be >= 0");
+    std::vector<Term> ports, heads;
+    ports.reserve(static_cast<std::size_t>(n));
+    heads.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      Term p = new_port();
+      heads.push_back(port_head(p));
+      ports.push_back(std::move(p));
+    }
+    unify_output(g.arg(1), Term::list(std::move(ports)), g);
+    unify_output(g.arg(2), Term::list(std::move(heads)), g);
+  }
+
+  void builtin_distribute(const Term& g) {
+    // distribute(Index, Msg, DT): appends Msg to the Index-th (1-based)
+    // port of tuple DT.
+    Term dt = g.arg(2).deref();
+    if (dt.is_var()) {
+      suspend(g, dt);
+      return;
+    }
+    if (!dt.is_tuple()) {
+      throw InterpError("distribute/3 needs a tuple of ports, got: " +
+                        term::format_term(dt));
+    }
+    auto r = eval_arith(g.arg(0));
+    if (std::holds_alternative<Suspended>(r)) {
+      suspend(g, std::get<Suspended>(r).var);
+      return;
+    }
+    const std::int64_t ix = std::get<std::int64_t>(std::get<Number>(r));
+    if (ix < 1 || ix > static_cast<std::int64_t>(dt.arity())) {
+      throw InterpError("distribute index " + std::to_string(ix) +
+                        " outside 1.." + std::to_string(dt.arity()));
+    }
+    port_send(dt.arg(static_cast<std::size_t>(ix - 1)), g.arg(1).deref());
+  }
+
+  void builtin_send_all(const Term& g) {
+    Term dt = g.arg(1).deref();
+    if (dt.is_var()) {
+      suspend(g, dt);
+      return;
+    }
+    if (!dt.is_tuple()) {
+      throw InterpError("send_all/2 needs a tuple of ports");
+    }
+    for (std::size_t i = 0; i < dt.arity(); ++i) {
+      port_send(dt.arg(i), g.arg(0).deref());
+    }
+  }
+
+  void builtin_make_tuple(const Term& g) {
+    // make_tuple(ListOrCount, Tuple)
+    Term x = g.arg(0).deref();
+    if (x.is_var()) {
+      suspend(g, x);
+      return;
+    }
+    if (x.is_int()) {
+      std::vector<Term> slots;
+      for (std::int64_t i = 0; i < x.int_value(); ++i) {
+        slots.push_back(Term::var("_"));
+      }
+      unify_output(g.arg(1), Term::tuple(std::move(slots)), g);
+      return;
+    }
+    auto xs = x.proper_list();
+    if (!xs) {
+      // An unbound spine suspends; an improper list is an error.
+      Term cur = x;
+      while (cur.is_cons()) cur = cur.arg(1).deref();
+      if (cur.is_var()) {
+        suspend(g, cur);
+        return;
+      }
+      throw InterpError("make_tuple/2 on improper list");
+    }
+    unify_output(g.arg(1), Term::tuple(std::move(*xs)), g);
+  }
+
+  void builtin_arg(const Term& g) {
+    auto r = eval_arith(g.arg(0));
+    if (std::holds_alternative<Suspended>(r)) {
+      suspend(g, std::get<Suspended>(r).var);
+      return;
+    }
+    const std::int64_t ix = std::get<std::int64_t>(std::get<Number>(r));
+    Term t = g.arg(1).deref();
+    if (t.is_var()) {
+      suspend(g, t);
+      return;
+    }
+    if (!t.is_compound() || ix < 1 ||
+        ix > static_cast<std::int64_t>(t.arity())) {
+      throw InterpError("arg/3 out of range: " + term::format_term(g));
+    }
+    unify_output(g.arg(2), t.arg(static_cast<std::size_t>(ix - 1)), g);
+  }
+};
+
+Interp::Interp(term::Program program, InterpOptions options)
+    : impl_(std::make_unique<Impl>()), program_(std::move(program)) {
+  machine_ = std::make_unique<rt::Machine>(rt::MachineConfig{
+      .nodes = options.nodes,
+      .workers = options.workers,
+      .batch = 64,
+      .seed = options.seed,
+  });
+  impl_->self = this;
+  impl_->machine = machine_.get();
+  impl_->program = &program_;
+  impl_->options = options;
+  for (const auto& key : program_.defined()) {
+    impl_->defs[key].rules = program_.rules_for(key);
+  }
+}
+
+Interp::~Interp() = default;
+
+void Interp::register_foreign(const std::string& name, std::size_t arity,
+                              std::size_t inputs, ForeignFn fn) {
+  const ProcKey key{name, arity};
+  if (impl_->defs.count(key) > 0) {
+    throw InterpError("foreign name collides with program definition: " +
+                      key.to_string());
+  }
+  if (!impl_->foreign.emplace(key, Impl::ForeignEntry{inputs, std::move(fn)})
+           .second) {
+    throw InterpError("foreign procedure already registered: " +
+                      key.to_string());
+  }
+}
+
+void Interp::set_output(std::function<void(const std::string&)> sink) {
+  std::lock_guard lock(impl_->out_m);
+  impl_->output = std::move(sink);
+}
+
+RunResult Interp::run(const Term& goal) {
+  impl_->spawn_on(0, goal);
+  machine_->wait_idle();
+  RunResult r;
+  r.reductions = impl_->reductions.load(std::memory_order_relaxed);
+  r.suspensions = impl_->suspensions.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(impl_->susp_m);
+    r.still_suspended = impl_->suspended.size();
+    for (const auto& [id, desc] : impl_->suspended) {
+      if (r.stuck_goals.size() >= 16) break;
+      r.stuck_goals.push_back(desc);
+    }
+  }
+  for (const auto& [key, entry] : impl_->defs) {
+    const std::uint64_t n = entry.commits.load(std::memory_order_relaxed);
+    if (n > 0) r.by_definition.emplace_back(key.to_string(), n);
+  }
+  std::sort(r.by_definition.begin(), r.by_definition.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  r.load = machine_->load_summary();
+  return r;
+}
+
+std::pair<Term, RunResult> Interp::run_query(const std::string& goal_src) {
+  Term goal = term::parse_term(goal_src);
+  RunResult r = run(goal);
+  return {goal, r};
+}
+
+}  // namespace motif::interp

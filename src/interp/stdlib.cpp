@@ -1,0 +1,57 @@
+#include "interp/stdlib.hpp"
+
+namespace motif::interp {
+
+term::Program stdlib() {
+  static const char* kSrc = R"(
+    % append(Xs, Ys, Zs): Zs is Xs ++ Ys. Works with unbound tails
+    % (difference-list style), producing output incrementally.
+    append([], Ys, Zs) :- Zs := Ys.
+    append([X|Xs], Ys, Zs) :- Zs := [X|Zs1], append(Xs, Ys, Zs1).
+
+    % reverse/2 via an accumulator.
+    reverse(Xs, Ys) :- rev_acc(Xs, [], Ys).
+    rev_acc([], Acc, Ys) :- Ys := Acc.
+    rev_acc([X|Xs], Acc, Ys) :- rev_acc(Xs, [X|Acc], Ys).
+
+    % len/2: list length (the length/2 builtin also accepts tuples; this
+    % is the library version, usable as a template for modification).
+    len([], N) :- N := 0.
+    len([_|Xs], N) :- len(Xs, N1), N is N1 + 1.
+
+    % sum_list/2 and max_list/2 over numbers.
+    sum_list([], S) :- S := 0.
+    sum_list([X|Xs], S) :- sum_list(Xs, S1), S is X + S1.
+
+    max_list([X], M) :- M := X.
+    max_list([X,Y|Xs], M) :- X >= Y | max_list([X|Xs], M).
+    max_list([X,Y|Xs], M) :- X < Y | max_list([Y|Xs], M).
+
+    % nth(N, Xs, Y): 1-based element access.
+    nth(1, [X|_], Y) :- Y := X.
+    nth(N, [_|Xs], Y) :- N > 1 | N1 is N - 1, nth(N1, Xs, Y).
+
+    % last/2.
+    last([X], Y) :- Y := X.
+    last([_,X|Xs], Y) :- last([X|Xs], Y).
+
+    % Concurrent quicksort: the two recursive sorts and the partition all
+    % run as independent processes synchronised purely by dataflow.
+    qsort([], S) :- S := [].
+    qsort([X|Xs], S) :-
+        part(X, Xs, Lo, Hi),
+        qsort(Lo, SL),
+        qsort(Hi, SH),
+        append(SL, [X|SH], S).
+
+    part(_, [], Lo, Hi) :- Lo := [], Hi := [].
+    part(P, [X|Xs], Lo, Hi) :- X =< P |
+        Lo := [X|Lo1], part(P, Xs, Lo1, Hi).
+    part(P, [X|Xs], Lo, Hi) :- X > P |
+        Hi := [X|Hi1], part(P, Xs, Lo, Hi1).
+  )";
+  static const term::Program kLib = term::Program::parse(kSrc);
+  return kLib;
+}
+
+}  // namespace motif::interp

@@ -1,0 +1,18 @@
+// A small standard library for the high-level language — the paper's
+// point that motif/library code in a readable concurrent language forms
+// "archives of expertise that can be consulted, modified, and extended"
+// (Section 1). Committed-choice list utilities plus a concurrent
+// quicksort (the "sorting" motif area of Section 4, expressed at the
+// language level: both partitions sort in parallel by dataflow).
+#pragma once
+
+#include "term/program.hpp"
+
+namespace motif::interp {
+
+/// append/3, reverse/2, len/2, sum_list/2, max_list/2, nth/3, last/2,
+/// qsort/2 (and its helpers part/4). Link with user programs via
+/// Program::linked_with.
+term::Program stdlib();
+
+}  // namespace motif::interp

@@ -1,0 +1,110 @@
+// Generic divide-and-conquer motif — one of the areas the paper's
+// conclusion lists for motif development ("Areas in which motifs seem
+// appropriate include search, sorting, grid problems, divide and conquer,
+// and various graph theory problems").
+//
+// The skeleton generalises Tree-Reduce-1: a problem is split, subproblems
+// are shipped to randomly selected processors (the Random motif), and
+// results are combined where the split happened. The user supplies:
+//   is_base(P)            — stop splitting?
+//   base(P)      -> R     — solve a base case (sequential leaf work)
+//   divide(P)    -> [P]   — split into >= 1 subproblems
+//   combine(P,[R]) -> R   — merge subresults (ordered as divide returned)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "runtime/svar.hpp"
+
+namespace motif {
+
+template <class P, class R, class IsBase, class Base, class Divide,
+          class Combine>
+class DivideAndConquer {
+ public:
+  DivideAndConquer(rt::Machine& m, IsBase is_base, Base base, Divide divide,
+                   Combine combine)
+      : m_(m), is_base_(std::move(is_base)), base_(std::move(base)),
+        divide_(std::move(divide)), combine_(std::move(combine)) {}
+
+  /// Solves `problem`, blocking the calling (external) thread.
+  R run(P problem) {
+    rt::SVar<R> out;
+    auto self = this;
+    m_.post(m_.random_node(),
+            [self, problem = std::move(problem), out]() mutable {
+              self->solve(std::move(problem), out);
+            });
+    m_.wait_idle();  // rethrows task exceptions; result is bound after
+    return out.get();
+  }
+
+ private:
+  struct Join {
+    P problem;
+    std::vector<R> results;
+    std::atomic<std::size_t> missing;
+    rt::SVar<R> out;
+    rt::NodeId home;
+    Join(P p, std::size_t n, rt::SVar<R> o, rt::NodeId h)
+        : problem(std::move(p)), results(n), missing(n), out(std::move(o)),
+          home(h) {}
+  };
+
+  void solve(P problem, rt::SVar<R> out) {
+    if (is_base_(problem)) {
+      out.bind(base_(std::move(problem)));
+      return;
+    }
+    std::vector<P> parts = divide_(problem);
+    const rt::NodeId home = rt::Machine::current_node() == rt::kNoNode
+                                ? 0
+                                : rt::Machine::current_node();
+    auto join = std::make_shared<Join>(std::move(problem), parts.size(),
+                                       out, home);
+    auto self = this;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      rt::SVar<R> sub;
+      // First subproblem continues locally, the rest are shipped to
+      // random processors (the @random pragma applied to D&C).
+      const rt::NodeId target = i == 0 ? home : m_.random_node();
+      m_.post(target, [self, part = std::move(parts[i]), sub]() mutable {
+        self->solve(std::move(part), sub);
+      });
+      sub.when_bound([self, join, i](const R& r) {
+        join->results[i] = r;
+        if (join->missing.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // All subresults in: combine on the node that split.
+          self->m_.post(join->home, [self, join] {
+            rt::EvalScope scope;
+            join->out.bind(
+                self->combine_(join->problem, std::move(join->results)));
+          });
+        }
+      });
+    }
+  }
+
+  rt::Machine& m_;
+  IsBase is_base_;
+  Base base_;
+  Divide divide_;
+  Combine combine_;
+};
+
+/// Deduction helper.
+template <class P, class R, class IsBase, class Base, class Divide,
+          class Combine>
+R divide_and_conquer(rt::Machine& m, P problem, IsBase is_base, Base base,
+                     Divide divide, Combine combine) {
+  DivideAndConquer<P, R, IsBase, Base, Divide, Combine> dnc(
+      m, std::move(is_base), std::move(base), std::move(divide),
+      std::move(combine));
+  return dnc.run(std::move(problem));
+}
+
+}  // namespace motif

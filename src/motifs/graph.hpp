@@ -1,0 +1,68 @@
+// Graph-problem motif (paper Section 4: "various graph theory problems").
+//
+// Graph is a CSR adjacency structure with generators; parallel_bfs is a
+// level-synchronous breadth-first search: each level's frontier is split
+// across processors, discovered vertices are claimed with an atomic CAS
+// on their distance, and a join barrier advances the level. The user
+// gets distances; connected_components iterates BFS from unvisited
+// vertices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "runtime/rng.hpp"
+
+namespace motif {
+
+class Graph {
+ public:
+  /// Builds from an edge list over vertices 0..n-1 (undirected if
+  /// `undirected`, the default).
+  static Graph from_edges(std::size_t n,
+                          const std::vector<std::pair<std::uint32_t,
+                                                      std::uint32_t>>& edges,
+                          bool undirected = true);
+
+  /// G(n, p) Erdős–Rényi random graph (undirected, no self loops).
+  static Graph random_gnp(std::size_t n, double p, rt::Rng& rng);
+
+  /// Ring of n vertices plus `extra` random chords (connected by design).
+  static Graph ring_with_chords(std::size_t n, std::size_t extra,
+                                rt::Rng& rng);
+
+  std::size_t vertex_count() const { return offsets_.size() - 1; }
+  std::size_t edge_count() const { return targets_.size(); }
+
+  /// Neighbours of v as a span-like pair of iterators.
+  const std::uint32_t* neighbors_begin(std::uint32_t v) const {
+    return targets_.data() + offsets_[v];
+  }
+  const std::uint32_t* neighbors_end(std::uint32_t v) const {
+    return targets_.data() + offsets_[v + 1];
+  }
+  std::size_t degree(std::uint32_t v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;   // n+1
+  std::vector<std::uint32_t> targets_;
+};
+
+inline constexpr std::int32_t kUnreached = -1;
+
+/// Sequential BFS oracle.
+std::vector<std::int32_t> bfs_sequential(const Graph& g, std::uint32_t src);
+
+/// Level-synchronous parallel BFS over the machine's processors.
+std::vector<std::int32_t> parallel_bfs(rt::Machine& m, const Graph& g,
+                                       std::uint32_t src);
+
+/// Component id per vertex (smallest-reachable-source order), built from
+/// repeated parallel BFS.
+std::vector<std::uint32_t> connected_components(rt::Machine& m,
+                                                const Graph& g);
+
+}  // namespace motif

@@ -1,0 +1,82 @@
+// Data-parallel loop utility over the machine's processors: blocks of the
+// index range become tasks on distinct nodes. The workhorse behind the
+// grid and graph motifs, exposed for applications.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "runtime/machine.hpp"
+#include "runtime/svar.hpp"
+
+namespace motif {
+
+/// Applies body(i) for i in [begin, end), partitioned into one contiguous
+/// block per processor (at most `end - begin` blocks). Blocks the calling
+/// thread until every index is done. `body` must be safe to run on
+/// distinct indices concurrently.
+template <class Body>
+void parallel_for(rt::Machine& m, std::size_t begin, std::size_t end,
+                  Body body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::uint32_t blocks = static_cast<std::uint32_t>(
+      std::min<std::size_t>(m.node_count(), n));
+  auto missing = std::make_shared<std::atomic<std::uint32_t>>(blocks);
+  rt::SVar<bool> done;
+  auto shared_body = std::make_shared<Body>(std::move(body));
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const std::size_t i0 = begin + b * n / blocks;
+    const std::size_t i1 = begin + (b + 1) * n / blocks;
+    m.post(static_cast<rt::NodeId>(b), [shared_body, i0, i1, missing, done] {
+      for (std::size_t i = i0; i < i1; ++i) (*shared_body)(i);
+      if (missing->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        rt::SVar<bool> d = done;
+        d.bind(true);
+      }
+    });
+  }
+  m.wait_idle();  // rethrows task exceptions; the barrier is complete
+  done.get();
+}
+
+/// Parallel reduction of body(i) over [begin, end) with a commutative,
+/// associative combiner and identity element.
+template <class R, class Body, class Combine>
+R parallel_reduce(rt::Machine& m, std::size_t begin, std::size_t end,
+                  R identity, Body body, Combine combine) {
+  if (begin >= end) return identity;
+  const std::size_t n = end - begin;
+  const std::uint32_t blocks = static_cast<std::uint32_t>(
+      std::min<std::size_t>(m.node_count(), n));
+  auto partials = std::make_shared<std::vector<R>>(blocks, identity);
+  auto missing = std::make_shared<std::atomic<std::uint32_t>>(blocks);
+  rt::SVar<bool> done;
+  auto ctx = std::make_shared<std::pair<Body, Combine>>(std::move(body),
+                                                        std::move(combine));
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const std::size_t i0 = begin + b * n / blocks;
+    const std::size_t i1 = begin + (b + 1) * n / blocks;
+    m.post(static_cast<rt::NodeId>(b),
+           [ctx, partials, i0, i1, b, identity, missing, done] {
+             R acc = identity;
+             for (std::size_t i = i0; i < i1; ++i) {
+               acc = ctx->second(std::move(acc), ctx->first(i));
+             }
+             (*partials)[b] = std::move(acc);
+             if (missing->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+               rt::SVar<bool> d = done;
+               d.bind(true);
+             }
+           });
+  }
+  m.wait_idle();  // rethrows task exceptions; the barrier is complete
+  done.get();
+  R acc = identity;
+  for (auto& p : *partials) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace motif

@@ -1,0 +1,97 @@
+// Pipeline motif: the producer/consumer structure of the paper's
+// Figure 1, generalised to a chain of stages connected by bounded
+// channels. The bound plays the role of the sync acknowledgement: with
+// capacity 1 the producer cannot run ahead of the consumer, exactly the
+// synchronous coupling of Figure 1.
+//
+// Stages run on dedicated OS threads (they block on channels, which
+// Machine tasks must never do) — the conventional-threads counterpart to
+// the stream-based interpreter version tested in interp_figures_test.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "runtime/channel.hpp"
+
+namespace motif {
+
+template <class T>
+class Pipeline {
+ public:
+  /// Produces items until it returns nullopt.
+  using Source = std::function<std::optional<T>()>;
+  /// Transforms one item (1-in/1-out stage).
+  using Stage = std::function<T(T)>;
+  /// Consumes items.
+  using Sink = std::function<void(T)>;
+
+  explicit Pipeline(std::size_t channel_capacity = 1)
+      : capacity_(channel_capacity) {}
+
+  Pipeline& source(Source s) {
+    source_ = std::move(s);
+    return *this;
+  }
+  Pipeline& stage(Stage s) {
+    stages_.push_back(std::move(s));
+    return *this;
+  }
+  Pipeline& sink(Sink s) {
+    sink_ = std::move(s);
+    return *this;
+  }
+
+  /// Runs to completion (source exhausted, all items through the sink).
+  /// Returns the number of items processed.
+  std::size_t run() {
+    if (!source_ || !sink_) {
+      throw std::logic_error("pipeline needs a source and a sink");
+    }
+    const std::size_t n_channels = stages_.size() + 1;
+    std::vector<std::unique_ptr<rt::Channel<T>>> chans;
+    chans.reserve(n_channels);
+    for (std::size_t i = 0; i < n_channels; ++i) {
+      chans.push_back(std::make_unique<rt::Channel<T>>(capacity_));
+    }
+    std::size_t count = 0;
+    std::vector<std::thread> threads;
+    threads.emplace_back([this, &chans] {
+      while (auto item = source_()) {
+        if (!chans.front()->push(std::move(*item))) break;
+      }
+      chans.front()->close();
+    });
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      threads.emplace_back([this, s, &chans] {
+        auto& in = *chans[s];
+        auto& out = *chans[s + 1];
+        while (auto item = in.pop()) {
+          if (!out.push(stages_[s](std::move(*item)))) break;
+        }
+        out.close();
+      });
+    }
+    threads.emplace_back([this, &chans, &count] {
+      auto& in = *chans.back();
+      while (auto item = in.pop()) {
+        sink_(std::move(*item));
+        ++count;
+      }
+    });
+    for (auto& t : threads) t.join();
+    return count;
+  }
+
+ private:
+  std::size_t capacity_;
+  Source source_;
+  std::vector<Stage> stages_;
+  Sink sink_;
+};
+
+}  // namespace motif

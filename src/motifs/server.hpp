@@ -1,0 +1,110 @@
+// The Server motif as a native C++ skeleton (paper Section 3.2): "a fully
+// connected set of named servers, each capable of initiating computations
+// upon receipt of messages from other servers. These computations can in
+// turn generate further messages."
+//
+// Each server is one virtual node of the Machine; a message is a task
+// posted to that node (the node queue is the merged input stream), so
+// per-server message handling is sequential, exactly like the Strand
+// server process. The user supplies a handler invoked per message with a
+// Context offering send / nodes / halt — the same operations the Server
+// transformation rewrites.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "runtime/machine.hpp"
+
+namespace motif {
+
+template <class Msg>
+class ServerNetwork {
+ private:
+  struct State;
+
+ public:
+  class Context;
+  /// Handler runs on the destination server's node, one message at a time.
+  using Handler = std::function<void(Context&, Msg)>;
+
+  /// Servers are numbered 1..n (the paper's convention); they occupy
+  /// machine nodes 0..n-1. Requires n <= m.node_count().
+  ServerNetwork(rt::Machine& m, std::uint32_t n, Handler handler)
+      : state_(std::make_shared<State>(m, n, std::move(handler))) {
+    if (n == 0 || n > m.node_count()) {
+      throw std::invalid_argument("server count outside 1..nodes");
+    }
+  }
+
+  class Context {
+   public:
+    /// Sends a message to server `to` (1-based). Messages to self are
+    /// legal and stay local.
+    void send(std::uint32_t to, Msg msg) { state_->send(to, std::move(msg)); }
+    /// The number of servers in operation (the nodes/1 primitive).
+    std::uint32_t nodes() const { return state_->count; }
+    /// This server's own number, 1-based.
+    std::uint32_t self() const { return rt::Machine::current_node() + 1; }
+    /// Requests that every server stop: pending messages are drained but
+    /// no longer handled (the halt primitive).
+    void halt() { state_->halted.store(true, std::memory_order_release); }
+    /// Deterministic per-server random stream.
+    rt::Rng& rng() { return state_->m.rng(rt::Machine::current_node()); }
+
+   private:
+    friend class ServerNetwork;
+    friend struct ServerNetwork::State;
+    explicit Context(std::shared_ptr<State> s) : state_(std::move(s)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  /// Delivers the initial message (the Msg argument of create(N,Msg)).
+  void start(std::uint32_t to, Msg initial) {
+    state_->send(to, std::move(initial));
+  }
+
+  /// Blocks until every delivered message has been handled (or dropped
+  /// after halt). Returns true if the network halted explicitly.
+  bool wait() {
+    state_->m.wait_idle();
+    return state_->halted.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t messages_handled() const {
+    return state_->handled.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct State : std::enable_shared_from_this<State> {
+    rt::Machine& m;
+    std::uint32_t count;
+    Handler handler;
+    std::atomic<bool> halted{false};
+    std::atomic<std::uint64_t> handled{0};
+
+    State(rt::Machine& mm, std::uint32_t n, Handler h)
+        : m(mm), count(n), handler(std::move(h)) {}
+
+    void send(std::uint32_t to, Msg msg) {
+      if (to < 1 || to > count) {
+        throw std::out_of_range("server id outside 1..nodes");
+      }
+      auto self = this->shared_from_this();
+      m.post(static_cast<rt::NodeId>(to - 1),
+             [self, msg = std::move(msg)]() mutable {
+               if (self->halted.load(std::memory_order_acquire)) return;
+               self->handled.fetch_add(1, std::memory_order_relaxed);
+               Context ctx(self);
+               self->handler(ctx, std::move(msg));
+             });
+    }
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace motif

@@ -1,0 +1,332 @@
+// The two tree-reduction motifs of the paper's case study, as native C++
+// skeletons over the simulated multicomputer, plus the static-partition
+// baseline the paper mentions ("A static partition of the tree is
+// probably ideal in the simple arithmetic example", Section 3.1).
+//
+// tree_reduce1 — Section 3.4 (Tree-Reduce-1 = Server ∘ Rand ∘ Tree1):
+//   divide and conquer; at each node one subtree is shipped to a
+//   randomly selected processor, the other is evaluated locally; the
+//   node value is computed (on the node's home processor) when both
+//   subtree values are available. Many evaluations can be live on one
+//   processor simultaneously.
+//
+// tree_reduce2 — Section 3.5 (Tree-Reduce-2 = Server ∘ Tree-Reduce):
+//   every tree node is labelled with a processor (parent = left child's
+//   label; sibling leaves share a label, so at most ONE of each node's
+//   two offspring values crosses processors); leaf values are sent to
+//   their parents' processors; values meet in a per-processor pending
+//   table; each processor evaluates one node at a time (processors are
+//   sequential executors), bounding the number of live intermediate
+//   values.
+//
+// static_tree_reduce — the baseline: the top of the tree is cut at a
+//   fixed depth and each resulting subtree is reduced sequentially on a
+//   deterministically assigned processor; the cap is combined as values
+//   arrive. No dynamic balancing.
+//
+// All three return the same value as reduce_sequential (tested as a
+// property over random trees) and differ only in schedule, messages and
+// memory — exactly the comparison the paper draws.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "motifs/tree.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/svar.hpp"
+
+namespace motif {
+
+/// Victim-selection policy for tree_reduce1 (ablation: DESIGN.md §5).
+enum class MapPolicy { Random, RoundRobin };
+
+/// Labelling policy for tree_reduce2 (ablation: DESIGN.md §5). Paper =
+/// Section 3.5's rule (parent = left child's label, sibling leaves
+/// share); IndependentRandom drops both constraints, so every value
+/// message has a 1-1/P chance of crossing processors.
+enum class LabelPolicy { Paper, IndependentRandom };
+
+namespace detail {
+
+template <class V, class Tag, class Eval>
+struct TR1 {
+  rt::Machine& m;
+  Eval eval;
+  MapPolicy policy;
+  std::atomic<std::uint32_t> rr{0};
+
+  TR1(rt::Machine& mm, Eval e, MapPolicy p)
+      : m(mm), eval(std::move(e)), policy(p) {}
+
+  rt::NodeId pick() {
+    if (policy == MapPolicy::RoundRobin) {
+      return rr.fetch_add(1, std::memory_order_relaxed) % m.node_count();
+    }
+    return m.random_node();
+  }
+
+  void reduce(const typename Tree<V, Tag>::Ptr& t, rt::SVar<V> out) {
+    if (t->is_leaf()) {
+      out.bind(t->value());
+      return;
+    }
+    rt::SVar<V> lv, rv;
+    // Ship the right subtree to another processor (the paper's
+    // "reduce(R,RV)@random"); keep the left at home.
+    auto self = this;
+    m.post(pick(), [self, r = t->right(), rv] { self->reduce(r, rv); });
+    const rt::NodeId home = rt::Machine::current_node() == rt::kNoNode
+                                ? 0
+                                : rt::Machine::current_node();
+    // Left subtree continues on this node, as its own process.
+    m.post(home, [self, l = t->left(), lv] { self->reduce(l, lv); });
+    rt::when_both(lv, rv,
+                  [self, home, tag = t->tag(), out](const V& l, const V& r) {
+                    // The evaluation is INITIATED here — in the paper,
+                    // "each reduce message received by a server causes the
+                    // initiation of an independent computation" — so the
+                    // active-evaluation scope opens now, even though the
+                    // task may queue behind others on the home node. This
+                    // is exactly the pile-up Tree-Reduce-2 eliminates.
+                    auto scope = std::make_shared<rt::EvalScope>();
+                    self->m.post(home, [self, tag, l, r, out, scope] {
+                      out.bind(self->eval(tag, l, r));
+                    });
+                  });
+  }
+};
+
+}  // namespace detail
+
+/// Tree-Reduce-1. Blocks the calling (external) thread until the value is
+/// available. Eval: V(const Tag&, const V&, const V&).
+template <class V, class Tag, class Eval>
+V tree_reduce1(rt::Machine& m, const typename Tree<V, Tag>::Ptr& tree,
+               Eval eval, MapPolicy policy = MapPolicy::Random) {
+  auto engine = std::make_shared<detail::TR1<V, Tag, Eval>>(
+      m, std::move(eval), policy);
+  rt::SVar<V> out;
+  m.post(m.random_node(), [engine, tree, out] { engine->reduce(tree, out); });
+  // Quiesce first: wait_idle rethrows any exception a task (e.g. the
+  // user's eval) threw; only then is the result guaranteed bound.
+  m.wait_idle();
+  return out.get();
+}
+
+namespace detail {
+
+/// Preprocessing output for tree_reduce2: the labelled node table.
+template <class V, class Tag>
+struct TR2Plan {
+  struct Entry {
+    Tag tag{};
+    std::int64_t parent = -1;   // -1 marks the root
+    rt::NodeId parent_label = 0;
+    bool is_right = false;      // side of this node within its parent
+    rt::NodeId label = 0;
+  };
+  struct LeafMsg {
+    std::int64_t parent;        // id of the parent entry
+    rt::NodeId parent_label;
+    bool is_right;
+    rt::NodeId label;           // the leaf's own label (locality accounting)
+    V value;
+  };
+  std::vector<Entry> entries;   // index = node id
+  std::vector<LeafMsg> leaves;
+};
+
+/// Labels the tree (Section 3.5): ids in prefix order; the root's label
+/// is random; a left child inherits its parent's label (so the parent's
+/// label equals its left child's, as the paper specifies bottom-up); the
+/// right child shares the label if both children are leaves (sibling
+/// rule) and draws a fresh random label otherwise.
+template <class V, class Tag>
+TR2Plan<V, Tag> tr2_label(const typename Tree<V, Tag>::Ptr& root,
+                          std::uint32_t processors, rt::Rng& rng,
+                          LabelPolicy policy = LabelPolicy::Paper) {
+  TR2Plan<V, Tag> plan;
+  using Ptr = typename Tree<V, Tag>::Ptr;
+  struct Item {
+    Ptr t;
+    rt::NodeId label;
+    std::int64_t parent;
+    rt::NodeId parent_label;
+    bool is_right;
+  };
+  std::vector<Item> stack;
+  stack.push_back({root, static_cast<rt::NodeId>(rng.below(processors)), -1,
+                   0, false});
+  while (!stack.empty()) {
+    Item it = std::move(stack.back());
+    stack.pop_back();
+    if (it.t->is_leaf()) {
+      plan.leaves.push_back(
+          {it.parent, it.parent_label, it.is_right, it.label,
+           it.t->value()});
+      continue;
+    }
+    const auto id = static_cast<std::int64_t>(plan.entries.size());
+    plan.entries.push_back(
+        {it.t->tag(), it.parent, it.parent_label, it.is_right, it.label});
+    const bool both_leaves =
+        it.t->left()->is_leaf() && it.t->right()->is_leaf();
+    rt::NodeId left_label = it.label;
+    rt::NodeId right_label =
+        both_leaves ? it.label
+                    : static_cast<rt::NodeId>(rng.below(processors));
+    if (policy == LabelPolicy::IndependentRandom) {
+      left_label = static_cast<rt::NodeId>(rng.below(processors));
+      right_label = static_cast<rt::NodeId>(rng.below(processors));
+    }
+    // Push right first so the left subtree gets the next (prefix) ids —
+    // purely cosmetic; correctness only needs parent ids to precede use.
+    stack.push_back({it.t->right(), right_label, id, it.label, true});
+    stack.push_back({it.t->left(), left_label, id, it.label, false});
+  }
+  return plan;
+}
+
+}  // namespace detail
+
+/// Observability hook for tree_reduce2 (experiment E3): number of value
+/// messages that crossed processors vs stayed local in the last call.
+struct TR2Stats {
+  std::uint64_t local_values = 0;
+  std::uint64_t remote_values = 0;
+};
+
+/// Tree-Reduce-2. Blocks the calling thread until the value is available.
+/// The per-processor pending tables live in node-indexed state touched
+/// only by that node's (sequential) tasks — no locks needed.
+template <class V, class Tag, class Eval>
+V tree_reduce2(rt::Machine& m, const typename Tree<V, Tag>::Ptr& tree,
+               Eval eval, TR2Stats* stats = nullptr,
+               LabelPolicy policy = LabelPolicy::Paper) {
+  if (tree->is_leaf()) return tree->value();
+  using Plan = detail::TR2Plan<V, Tag>;
+  auto plan = std::make_shared<Plan>(
+      detail::tr2_label<V, Tag>(tree, m.node_count(), m.rng(0), policy));
+
+  struct Partial {
+    bool have_left = false, have_right = false;
+    V left{}, right{};
+  };
+  struct State {
+    rt::Machine& m;
+    std::shared_ptr<Plan> plan;
+    Eval eval;
+    std::vector<std::unordered_map<std::int64_t, Partial>> pending;
+    rt::SVar<V> result;
+    std::atomic<std::uint64_t> local{0}, remote{0};
+    State(rt::Machine& mm, std::shared_ptr<Plan> p, Eval e)
+        : m(mm), plan(std::move(p)), eval(std::move(e)),
+          pending(mm.node_count()) {}
+
+    void deliver(std::int64_t node_id, rt::NodeId to, bool is_right, V v) {
+      const rt::NodeId from = rt::Machine::current_node();
+      if (from != rt::kNoNode) {
+        (from == to ? local : remote).fetch_add(1, std::memory_order_relaxed);
+      }
+      m.post(to, [this, node_id, is_right, v = std::move(v)]() mutable {
+        arrive(node_id, is_right, std::move(v));
+      });
+    }
+
+    void arrive(std::int64_t node_id, bool is_right, V v) {
+      const rt::NodeId here = rt::Machine::current_node();
+      Partial& p = pending[here][node_id];
+      (is_right ? p.right : p.left) = std::move(v);
+      (is_right ? p.have_right : p.have_left) = true;
+      if (!(p.have_left && p.have_right)) return;
+      Partial ready = std::move(p);
+      pending[here].erase(node_id);
+      const auto& e = plan->entries[static_cast<std::size_t>(node_id)];
+      V value;
+      {
+        rt::EvalScope scope;  // exactly one evaluation active per node
+        value = eval(e.tag, ready.left, ready.right);
+      }
+      if (e.parent < 0) {
+        result.bind(std::move(value));
+        return;
+      }
+      deliver(e.parent, e.parent_label, e.is_right, std::move(value));
+    }
+  };
+
+  auto st = std::make_shared<State>(m, plan, std::move(eval));
+  // Initial distribution: each leaf value travels from the leaf's own
+  // processor (its label) to its parent's processor. Left leaves and
+  // sibling-rule right leaves are local by construction.
+  for (const auto& leaf : plan->leaves) {
+    (leaf.label == leaf.parent_label ? st->local : st->remote)
+        .fetch_add(1, std::memory_order_relaxed);
+    // Copy: messages move data by value between processors (CP.31).
+    m.post(leaf.parent_label,
+           [st, id = leaf.parent, right = leaf.is_right, v = leaf.value] {
+             st->arrive(id, right, v);
+           });
+  }
+  m.wait_idle();  // rethrows task exceptions; result is bound after this
+  const V& v = st->result.get();
+  if (stats != nullptr) {
+    stats->local_values = st->local.load(std::memory_order_relaxed);
+    stats->remote_values = st->remote.load(std::memory_order_relaxed);
+  }
+  return v;
+}
+
+/// Static-partition baseline: cut the tree at `cut_depth` (default:
+/// log2(processors)+1), reduce each piece sequentially on a processor
+/// assigned round-robin, combine the cap as values arrive.
+template <class V, class Tag, class Eval>
+V static_tree_reduce(rt::Machine& m, const typename Tree<V, Tag>::Ptr& tree,
+                     Eval eval, std::uint32_t cut_depth = 0) {
+  if (cut_depth == 0) {
+    std::uint32_t p = m.node_count();
+    while (p > 1) {
+      ++cut_depth;
+      p /= 2;
+    }
+    ++cut_depth;
+  }
+  struct Engine {
+    rt::Machine& m;
+    Eval eval;
+    std::atomic<std::uint32_t> next{0};
+
+    Engine(rt::Machine& mm, Eval e) : m(mm), eval(std::move(e)) {}
+    void go(const typename Tree<V, Tag>::Ptr& t, std::uint32_t depth,
+            rt::SVar<V> out) {
+      if (t->is_leaf() || depth == 0) {
+        const rt::NodeId target =
+            next.fetch_add(1, std::memory_order_relaxed) % m.node_count();
+        m.post(target, [this, t, out] {
+          out.bind(reduce_sequential<V, Tag>(t, eval));
+        });
+        return;
+      }
+      rt::SVar<V> lv, rv;
+      go(t->left(), depth - 1, lv);
+      go(t->right(), depth - 1, rv);
+      rt::when_both(lv, rv, [this, tag = t->tag(), out](const V& l,
+                                                        const V& r) {
+        rt::EvalScope scope;
+        out.bind(eval(tag, l, r));
+      });
+    }
+  };
+  auto engine = std::make_shared<Engine>(m, std::move(eval));
+  rt::SVar<V> out;
+  engine->go(tree, cut_depth, out);
+  m.wait_idle();  // rethrows task exceptions; result is bound after this
+  return out.get();
+}
+
+}  // namespace motif

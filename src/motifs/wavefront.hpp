@@ -1,0 +1,89 @@
+// Wavefront motif: dynamic-programming recurrences on a 2-D grid where
+// cell (i,j) depends on (i-1,j), (i,j-1) and (i-1,j-1) — the classic
+// "grid problem" shape of the paper's Section 4, and exactly the
+// dependence structure of the case study's own low-level kernel (the
+// Needleman–Wunsch alignment matrix; see align/nw_wavefront).
+//
+// The grid is tiled; a tile becomes runnable when its upper and left
+// neighbour tiles complete; runnable tiles are posted to processors by
+// row affinity, so anti-diagonals of tiles execute in parallel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "runtime/svar.hpp"
+
+namespace motif {
+
+/// Runs body(i, j) for every (i, j) in [0, rows) x [0, cols), respecting
+/// wavefront dependencies: body(i,j) runs after body(i-1,j) and
+/// body(i,j-1). Within a tile, cells run in row-major order. Blocks the
+/// calling thread; body exceptions propagate.
+template <class Body>
+void wavefront(rt::Machine& m, std::size_t rows, std::size_t cols,
+               Body body, std::size_t tile = 64) {
+  if (rows == 0 || cols == 0) return;
+  if (tile == 0) tile = 1;
+  const std::size_t tr = (rows + tile - 1) / tile;
+  const std::size_t tc = (cols + tile - 1) / tile;
+
+  struct State {
+    rt::Machine& m;
+    std::size_t rows, cols, tile, tr, tc;
+    std::shared_ptr<Body> body;
+    std::vector<std::atomic<int>> deps;  // per tile
+    std::atomic<std::size_t> remaining;
+    rt::SVar<bool> done;
+
+    State(rt::Machine& mm, std::size_t r, std::size_t c, std::size_t t,
+          std::size_t ntr, std::size_t ntc, Body b)
+        : m(mm), rows(r), cols(c), tile(t), tr(ntr), tc(ntc),
+          body(std::make_shared<Body>(std::move(b))), deps(ntr * ntc),
+          remaining(ntr * ntc) {
+      for (std::size_t i = 0; i < ntr; ++i) {
+        for (std::size_t j = 0; j < ntc; ++j) {
+          deps[i * ntc + j] = (i > 0 ? 1 : 0) + (j > 0 ? 1 : 0);
+        }
+      }
+    }
+
+    void run_tile(std::shared_ptr<State> self, std::size_t bi,
+                  std::size_t bj) {
+      const std::size_t i0 = bi * tile, i1 = std::min(rows, i0 + tile);
+      const std::size_t j0 = bj * tile, j1 = std::min(cols, j0 + tile);
+      for (std::size_t i = i0; i < i1; ++i) {
+        for (std::size_t j = j0; j < j1; ++j) {
+          (*body)(i, j);
+        }
+      }
+      if (bi + 1 < tr) release(self, bi + 1, bj);
+      if (bj + 1 < tc) release(self, bi, bj + 1);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        done.bind(true);
+      }
+    }
+
+    void release(std::shared_ptr<State> self, std::size_t bi,
+                 std::size_t bj) {
+      if (deps[bi * tc + bj].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Row affinity: a tile row stays on one processor, so the left-
+        // neighbour dependency is usually local and only the downward
+        // edge crosses processors.
+        m.post(static_cast<rt::NodeId>(bi % m.node_count()),
+               [self, bi, bj] { self->run_tile(self, bi, bj); });
+      }
+    }
+  };
+
+  auto st = std::make_shared<State>(m, rows, cols, tile, tr, tc,
+                                    std::move(body));
+  m.post(0, [st] { st->run_tile(st, 0, 0); });
+  m.wait_idle();  // rethrows body exceptions; all tiles done after this
+  st->done.get();
+}
+
+}  // namespace motif

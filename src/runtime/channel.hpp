@@ -1,0 +1,106 @@
+// A pragmatic multi-producer multi-consumer queue with close semantics.
+//
+// Streams (stream.hpp) are the faithful Strand communication structure;
+// Channel<T> is the conventional alternative used by native motifs whose
+// stages run on dedicated OS threads (e.g. the pipeline motif), where a
+// blocking pop is appropriate. Machine tasks must never block on a
+// Channel — they use SVar/Stream continuations instead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace motif::rt {
+
+template <class T>
+class Channel {
+ public:
+  /// capacity == 0 means unbounded; otherwise push blocks while full.
+  explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while the channel is full. Returns false if the channel was
+  /// closed (the item is dropped).
+  bool push(T value) {
+    std::unique_lock lock(m_);
+    not_full_.wait(lock, [&] {
+      return closed_ || capacity_ == 0 || q_.size() < capacity_;
+    });
+    if (closed_) return false;
+    q_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; fails when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(m_);
+      if (closed_ || (capacity_ != 0 && q_.size() >= capacity_)) return false;
+      q_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the channel is closed and
+  /// drained; nullopt signals end-of-channel.
+  std::optional<T> pop() {
+    std::unique_lock lock(m_);
+    not_empty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  std::optional<T> try_pop() {
+    std::unique_lock lock(m_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// After close, pushes fail and pops drain the remaining items then
+  /// return nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(m_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(m_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(m_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace motif::rt

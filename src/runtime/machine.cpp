@@ -1,0 +1,226 @@
+#include "runtime/machine.hpp"
+
+#include <algorithm>
+
+namespace motif::rt {
+
+namespace {
+thread_local NodeId tl_current_node = kNoNode;
+}  // namespace
+
+Machine::Machine(MachineConfig cfg)
+    : batch_(std::max<std::uint32_t>(1, cfg.batch)),
+      ext_rng_(cfg.seed ^ 0xE27ull),
+      topology_(cfg.topology) {
+  const std::uint32_t n = std::max<std::uint32_t>(1, cfg.nodes);
+  // Mesh: the most-square factorisation r x c with r*c >= n.
+  mesh_cols_ = 1;
+  while (mesh_cols_ * mesh_cols_ < n) ++mesh_cols_;
+  nodes_.reserve(n);
+  std::uint64_t s = cfg.seed;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<Node>(splitmix64(s)));
+  }
+  std::uint32_t w = cfg.workers;
+  if (w == 0) {
+    const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    w = std::min(n, hw);
+  }
+  workers_.reserve(w);
+  for (std::uint32_t i = 0; i < w; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Machine::~Machine() {
+  // Drain outstanding work first so no posted task is silently dropped.
+  try {
+    wait_idle();
+  } catch (...) {
+    // A failing task's exception was already delivered to a prior
+    // wait_idle or is being abandoned with the machine itself.
+  }
+  {
+    std::lock_guard lock(ready_m_);
+    stopping_ = true;
+  }
+  ready_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+NodeId Machine::current_node() { return tl_current_node; }
+
+void Machine::post(NodeId n, Task t) {
+  const NodeId from = tl_current_node;
+  if (from == kNoNode) {
+    // external producer; not an inter-processor message
+  } else if (from == n) {
+    nodes_[from]->counters.posts_local.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    nodes_[from]->counters.posts_remote.fetch_add(1, std::memory_order_relaxed);
+    nodes_[from]->counters.hops.fetch_add(hop_distance(from, n),
+                                          std::memory_order_relaxed);
+    nodes_[n]->counters.recv_remote.fetch_add(1, std::memory_order_relaxed);
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  bool need_schedule = false;
+  {
+    std::lock_guard lock(nodes_[n]->m);
+    nodes_[n]->q.push_back(std::move(t));
+    const auto depth = static_cast<std::uint64_t>(nodes_[n]->q.size());
+    std::uint64_t peak = peak_queue_.load(std::memory_order_relaxed);
+    while (depth > peak && !peak_queue_.compare_exchange_weak(
+                               peak, depth, std::memory_order_relaxed)) {
+    }
+    if (!nodes_[n]->scheduled) {
+      nodes_[n]->scheduled = true;
+      need_schedule = true;
+    }
+  }
+  if (need_schedule) enqueue_ready(n);
+}
+
+void Machine::post_local(Task t) {
+  const NodeId n = tl_current_node == kNoNode ? 0 : tl_current_node;
+  post(n, std::move(t));
+}
+
+NodeId Machine::random_node() {
+  const NodeId cur = tl_current_node;
+  if (cur != kNoNode) {
+    return static_cast<NodeId>(nodes_[cur]->rng.below(nodes_.size()));
+  }
+  std::lock_guard lock(ext_rng_m_);
+  return static_cast<NodeId>(ext_rng_.below(nodes_.size()));
+}
+
+void Machine::enqueue_ready(NodeId n) {
+  {
+    std::lock_guard lock(ready_m_);
+    ready_.push_back(n);
+  }
+  ready_cv_.notify_one();
+}
+
+void Machine::worker_loop() {
+  for (;;) {
+    NodeId n;
+    {
+      std::unique_lock lock(ready_m_);
+      ready_cv_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stopping and drained
+      n = ready_.front();
+      ready_.pop_front();
+    }
+    run_node(n);
+  }
+}
+
+void Machine::run_node(NodeId n) {
+  Node& node = *nodes_[n];
+  tl_current_node = n;
+  std::uint32_t executed = 0;
+  for (;;) {
+    Task t;
+    {
+      std::lock_guard lock(node.m);
+      if (node.q.empty()) {
+        node.scheduled = false;
+        break;
+      }
+      if (executed >= batch_) {
+        // Yield the worker but keep the node scheduled; requeue it so
+        // other ready nodes get a turn (fairness across virtual nodes).
+        break;
+      }
+      t = std::move(node.q.front());
+      node.q.pop_front();
+    }
+    ++executed;
+    node.counters.tasks.fetch_add(1, std::memory_order_relaxed);
+    try {
+      t();
+    } catch (...) {
+      std::lock_guard lock(error_m_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(idle_m_);
+      idle_cv_.notify_all();
+    }
+  }
+  tl_current_node = kNoNode;
+  if (executed >= batch_) {
+    // Re-arm: the node still holds work (or raced with a post; the
+    // scheduled flag stays true so it is in the ready list exactly once).
+    bool requeue = false;
+    {
+      std::lock_guard lock(node.m);
+      if (!node.q.empty()) {
+        requeue = true;
+      } else {
+        node.scheduled = false;
+      }
+    }
+    if (requeue) enqueue_ready(n);
+  }
+}
+
+void Machine::wait_idle() {
+  std::unique_lock lock(idle_m_);
+  idle_cv_.wait(lock, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+  lock.unlock();
+  std::lock_guard el(error_m_);
+  if (first_error_) {
+    auto e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+LoadSummary Machine::load_summary() const {
+  // NodeCounters are not copyable (atomics); summarise in place.
+  std::vector<NodeCounters> view(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    view[i].tasks = nodes_[i]->counters.tasks.load(std::memory_order_relaxed);
+    view[i].posts_local =
+        nodes_[i]->counters.posts_local.load(std::memory_order_relaxed);
+    view[i].posts_remote =
+        nodes_[i]->counters.posts_remote.load(std::memory_order_relaxed);
+    view[i].recv_remote =
+        nodes_[i]->counters.recv_remote.load(std::memory_order_relaxed);
+    view[i].work = nodes_[i]->counters.work.load(std::memory_order_relaxed);
+    view[i].hops = nodes_[i]->counters.hops.load(std::memory_order_relaxed);
+  }
+  return summarize(view);
+}
+
+std::uint32_t Machine::hop_distance(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  switch (topology_) {
+    case Topology::Complete:
+      return 1;
+    case Topology::Ring: {
+      const std::uint32_t d = a > b ? a - b : b - a;
+      return std::min(d, n - d);
+    }
+    case Topology::Mesh2D: {
+      const std::uint32_t ar = a / mesh_cols_, ac = a % mesh_cols_;
+      const std::uint32_t br = b / mesh_cols_, bc = b % mesh_cols_;
+      return (ar > br ? ar - br : br - ar) + (ac > bc ? ac - bc : bc - ac);
+    }
+    case Topology::Hypercube:
+      return static_cast<std::uint32_t>(__builtin_popcount(a ^ b));
+  }
+  return 1;
+}
+
+void Machine::reset_counters() {
+  for (auto& n : nodes_) n->counters.reset();
+  peak_queue_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace motif::rt

@@ -1,0 +1,171 @@
+// The simulated multicomputer that motifs run on.
+//
+// A Machine owns N virtual *nodes* — the "processors" of the paper — and W
+// OS worker threads that execute them. Each node is a sequential executor:
+// its tasks run in FIFO order, one at a time, while distinct nodes run
+// concurrently. This is exactly Strand's model (one reduction engine per
+// processor, many lightweight processes), and it is what Tree-Reduce-2
+// relies on when it requires that "at each processor, computation is
+// sequenced so that only a single node evaluation is active at any given
+// time" (Section 3.5).
+//
+// N may exceed W: nodes are virtual processors multiplexed over the worker
+// pool, so experiments can sweep |Nodes| on a laptop. A post from node a to
+// node b != a is counted as a remote (inter-processor) message.
+//
+// Tasks must not block on data: they synchronise through SVar / Stream
+// continuations, re-posting work when values arrive (CP.4, CP.42).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/metrics.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/svar.hpp"
+
+namespace motif::rt {
+
+using NodeId = std::uint32_t;
+using Task = std::function<void()>;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Interconnect shape of the simulated multicomputer. The paper's Strand
+/// ran "on shared-memory computers, hypercubes, mesh machines, transputer
+/// surfaces"; the topology determines how many hops a remote message
+/// travels (counted in the per-node metrics — messages are still
+/// delivered directly; only the accounting differs).
+enum class Topology {
+  Complete,   ///< fully connected: every remote message is 1 hop
+  Ring,       ///< nodes on a cycle; distance = ring distance
+  Mesh2D,     ///< near-square grid; distance = Manhattan
+  Hypercube,  ///< distance = Hamming distance of node ids
+};
+
+struct MachineConfig {
+  std::uint32_t nodes = 4;    ///< number of virtual processors
+  std::uint32_t workers = 0;  ///< OS threads; 0 = min(nodes, hw concurrency)
+  std::uint32_t batch = 64;   ///< max tasks drained from a node per visit
+  std::uint64_t seed = 0x5EEDF00Dull;
+  Topology topology = Topology::Complete;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = {});
+
+  /// Waits for quiescence, then stops and joins the workers.
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  std::uint32_t node_count() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  std::uint32_t worker_count() const { return static_cast<std::uint32_t>(workers_.size()); }
+
+  /// Schedules `t` on node `n` (FIFO, sequential per node).
+  void post(NodeId n, Task t);
+
+  /// Schedules on the calling task's node; falls back to node 0 when
+  /// called from outside the machine.
+  void post_local(Task t);
+
+  /// Node executing the current task, or kNoNode outside the machine.
+  static NodeId current_node();
+
+  /// A uniformly random node id, drawn from the current node's RNG when on
+  /// a machine thread (deterministic per node), else from a seeded
+  /// external RNG guarded by a mutex.
+  NodeId random_node();
+
+  /// Per-node deterministic generator. Only the node's own tasks should
+  /// draw from it.
+  Rng& rng(NodeId n) { return nodes_[n]->rng; }
+
+  /// Convenience: post `f(value)` to node `n` once `v` is bound.
+  template <class T, class F>
+  void post_when(SVar<T> v, NodeId n, F f) {
+    v.when_bound([this, n, f = std::move(f)](const T& value) mutable {
+      // Copy the value into the task: data moves between nodes by value
+      // (CP.31), as on a real multicomputer.
+      post(n, [f = std::move(f), value]() mutable { f(value); });
+    });
+  }
+
+  /// Blocks until no task is pending or running, then rethrows the first
+  /// exception any task threw (if any).
+  void wait_idle();
+
+  const NodeCounters& counters(NodeId n) const { return nodes_[n]->counters; }
+  LoadSummary load_summary() const;
+  void reset_counters();
+
+  /// Records `units` of virtual work against the current node (node 0 when
+  /// called externally). Experiments use per-node work totals to compute a
+  /// virtual makespan that is independent of host core count.
+  void add_work(std::uint64_t units) {
+    const NodeId n = current_node() == kNoNode ? 0 : current_node();
+    nodes_[n]->counters.work.fetch_add(units, std::memory_order_relaxed);
+  }
+
+  /// Maximum queue depth observed across nodes (scheduling pressure probe).
+  std::uint64_t peak_queue_depth() const {
+    return peak_queue_.load(std::memory_order_relaxed);
+  }
+
+  Topology topology() const { return topology_; }
+
+  /// Message distance between two nodes under the configured topology
+  /// (0 for a == b; 1 for any remote pair on Complete).
+  std::uint32_t hop_distance(NodeId a, NodeId b) const;
+
+ private:
+  struct Node {
+    std::mutex m;
+    std::deque<Task> q;
+    bool scheduled = false;  // present in the ready list or being drained
+    Rng rng;
+    NodeCounters counters;
+    explicit Node(std::uint64_t seed) : rng(seed) {}
+  };
+
+  void enqueue_ready(NodeId n);
+  void worker_loop();
+  void run_node(NodeId n);
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::uint32_t batch_;
+
+  std::mutex ready_m_;
+  std::condition_variable ready_cv_;
+  std::deque<NodeId> ready_;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> pending_{0};
+  std::mutex idle_m_;
+  std::condition_variable idle_cv_;
+
+  std::mutex error_m_;
+  std::exception_ptr first_error_;
+
+  std::mutex ext_rng_m_;
+  Rng ext_rng_;
+
+  Topology topology_;
+  std::uint32_t mesh_cols_ = 1;
+
+  std::atomic<std::uint64_t> peak_queue_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace motif::rt

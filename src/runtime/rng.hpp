@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation for the motif runtime.
+//
+// Each virtual node of a Machine owns one Rng, seeded from the machine seed
+// and the node id, so runs are reproducible for a fixed (seed, node count)
+// regardless of how many OS worker threads execute the node pool.
+//
+// The generator is xoshiro256** (public-domain algorithm by Blackman and
+// Vigna), seeded through splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+
+namespace motif::rt {
+
+/// splitmix64 step: returns the next value of the sequence and advances `x`.
+std::uint64_t splitmix64(std::uint64_t& x);
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the four words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, n), n > 0. Uses Lemire's multiply-shift method
+  /// with rejection, so the result is exactly uniform.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double exponential(double lambda);
+
+  /// Pareto (heavy-tailed) sample with scale xm > 0 and shape alpha > 0.
+  /// Used to model the paper's "time required at each node is non-uniform
+  /// and cannot easily be predicted" workloads.
+  double pareto(double xm, double alpha);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace motif::rt

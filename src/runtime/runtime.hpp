@@ -1,0 +1,10 @@
+// Umbrella header for the motif runtime (simulated multicomputer substrate).
+#pragma once
+
+#include "runtime/channel.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/stream.hpp"
+#include "runtime/svar.hpp"
+#include "runtime/termination.hpp"

@@ -1,0 +1,131 @@
+// Single-assignment variables: the synchronisation primitive of the Strand
+// execution model that the paper's motifs are built on (Section 2.1).
+//
+// An SVar<T> starts unbound. It can be bound exactly once; a second bind is
+// a run-time error, mirroring Strand's "attempts to assign to a variable
+// that has a value are signaled as run-time errors". Consumers either block
+// (outside the machine) or register a continuation with when_bound (inside
+// the machine — worker threads must never block on data, CP.42/CP.4).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace motif::rt {
+
+/// Thrown when a single-assignment variable is bound twice.
+class SingleAssignmentViolation : public std::logic_error {
+ public:
+  SingleAssignmentViolation()
+      : std::logic_error("single-assignment variable bound twice") {}
+};
+
+/// A write-once, read-many dataflow variable. Copies share the same cell
+/// (handle semantics), so an SVar can be captured by both a producer and
+/// any number of consumers.
+template <class T>
+class SVar {
+ public:
+  SVar() : s_(std::make_shared<State>()) {}
+
+  /// Binds the variable. Runs (and releases) all registered continuations
+  /// on the calling thread. Throws SingleAssignmentViolation if bound.
+  /// (const: an SVar handle is freely shareable — the cell carries its
+  /// own synchronisation, so binding through a captured-by-value copy in
+  /// a const lambda is fine.)
+  void bind(T value) const {
+    std::vector<std::function<void(const T&)>> waiters;
+    {
+      std::lock_guard lock(s_->m);
+      if (s_->value.has_value()) throw SingleAssignmentViolation();
+      s_->value.emplace(std::move(value));
+      waiters.swap(s_->waiters);
+    }
+    s_->cv.notify_all();
+    for (auto& w : waiters) w(*s_->value);
+  }
+
+  /// Binds unless already bound; returns whether this call bound it.
+  bool try_bind(T value) const {
+    std::vector<std::function<void(const T&)>> waiters;
+    {
+      std::lock_guard lock(s_->m);
+      if (s_->value.has_value()) return false;
+      s_->value.emplace(std::move(value));
+      waiters.swap(s_->waiters);
+    }
+    s_->cv.notify_all();
+    for (auto& w : waiters) w(*s_->value);
+    return true;
+  }
+
+  bool bound() const {
+    std::lock_guard lock(s_->m);
+    return s_->value.has_value();
+  }
+
+  /// Blocking read; for use from threads outside the Machine (e.g. main or
+  /// a test). The reference stays valid for the life of the cell: the value
+  /// is immutable once bound.
+  const T& get() const {
+    std::unique_lock lock(s_->m);
+    s_->cv.wait(lock, [&] { return s_->value.has_value(); });
+    return *s_->value;
+  }
+
+  /// Non-blocking read.
+  std::optional<T> peek() const {
+    std::lock_guard lock(s_->m);
+    return s_->value;
+  }
+
+  /// Registers `f(const T&)` to run when the variable is bound. If it is
+  /// already bound, `f` runs inline on this thread. Continuations should be
+  /// cheap — typically a Machine::post of the real work.
+  template <class F>
+  void when_bound(F f) const {
+    {
+      std::unique_lock lock(s_->m);
+      if (!s_->value.has_value()) {
+        s_->waiters.emplace_back(std::move(f));
+        return;
+      }
+    }
+    f(*s_->value);
+  }
+
+  /// Identity of the underlying cell; two SVars alias iff they compare equal.
+  bool same_cell(const SVar& o) const { return s_ == o.s_; }
+
+ private:
+  struct State {
+    mutable std::mutex m;
+    std::optional<T> value;
+    std::condition_variable cv;
+    std::vector<std::function<void(const T&)>> waiters;
+  };
+  std::shared_ptr<State> s_;
+};
+
+/// Runs `f` once both `a` and `b` are bound. Values are passed by const
+/// reference; `f` runs on whichever thread supplies the last binding (or
+/// inline if both are already bound).
+template <class A, class B, class F>
+void when_both(SVar<A> a, SVar<B> b, F f) {
+  SVar<A> keep = a;  // the inner continuation keeps a's cell alive
+  a.when_bound(
+      [keep, b = std::move(b), f = std::move(f)](const A& av) mutable {
+        // `av` points into keep's cell; a bound value is immutable and the
+        // captured handle keeps it alive until f has run.
+        const A* ap = &av;
+        b.when_bound([keep, ap, f = std::move(f)](const B& bv) { f(*ap, bv); });
+      });
+}
+
+}  // namespace motif::rt

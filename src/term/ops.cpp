@@ -1,0 +1,24 @@
+#include "term/ops.hpp"
+
+#include <unordered_map>
+
+namespace motif::term {
+
+std::optional<OpInfo> binary_op(const std::string& name) {
+  static const std::unordered_map<std::string, OpInfo> kOps = {
+      {":=", {700, OpType::xfx}}, {"is", {700, OpType::xfx}},
+      {"=", {700, OpType::xfx}},  {"==", {700, OpType::xfx}},
+      {"=\\=", {700, OpType::xfx}}, {"\\==", {700, OpType::xfx}},
+      {"=:=", {700, OpType::xfx}}, {"<", {700, OpType::xfx}},
+      {">", {700, OpType::xfx}},  {"=<", {700, OpType::xfx}},
+      {">=", {700, OpType::xfx}}, {"+", {500, OpType::yfx}},
+      {"-", {500, OpType::yfx}},  {"*", {400, OpType::yfx}},
+      {"/", {400, OpType::yfx}},  {"//", {400, OpType::yfx}},
+      {"mod", {400, OpType::yfx}}, {"@", {150, OpType::xfx}},
+  };
+  auto it = kOps.find(name);
+  if (it == kOps.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace motif::term

@@ -1,0 +1,25 @@
+// Operator table shared by the reader (parser.hpp) and writer (writer.hpp).
+//
+// Precedences follow the usual logic-language conventions: lower binds
+// tighter. xfx operators do not associate; yfx are left-associative.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace motif::term {
+
+enum class OpType { xfx, yfx };
+
+struct OpInfo {
+  int prec;
+  OpType type;
+};
+
+/// Binary operator lookup (":=", "is", comparisons, arithmetic, "@").
+std::optional<OpInfo> binary_op(const std::string& name);
+
+/// Maximum operator precedence accepted for a goal/argument expression.
+inline constexpr int kMaxPrec = 700;
+
+}  // namespace motif::term

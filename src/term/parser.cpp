@@ -1,0 +1,458 @@
+#include "term/parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+#include "term/ops.hpp"
+
+namespace motif::term {
+
+namespace {
+
+enum class Tok {
+  Atom,     // foo, 'quoted', symbolic atom used as operator
+  Var,      // Foo, _foo, _
+  Int,
+  Float,
+  Str,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Bar,       // |  (commit bar at clause level, tail separator in lists)
+  ClauseEnd, // .
+  Neck,      // :-
+  End,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::int64_t ival = 0;
+  double fval = 0.0;
+  int line = 1;
+  int col = 1;
+  /// For Atom tokens: immediately followed by '(' with no space, so it
+  /// opens a compound (standard "functional notation" rule).
+  bool opens_call = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Token next() {
+    skip_ws();
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    if (eof()) {
+      t.kind = Tok::End;
+      return t;
+    }
+    char c = peek();
+    if (c == '(') return punct(Tok::LParen);
+    if (c == ')') return punct(Tok::RParen);
+    if (c == '[') return punct(Tok::LBracket);
+    if (c == ']') return punct(Tok::RBracket);
+    if (c == '{') return punct(Tok::LBrace);
+    if (c == '}') return punct(Tok::RBrace);
+    if (c == ',') return punct(Tok::Comma);
+    if (c == '|') return punct(Tok::Bar);
+    if (std::isdigit(static_cast<unsigned char>(c))) return number();
+    if (c == '_' || std::isupper(static_cast<unsigned char>(c))) return var();
+    if (std::isalpha(static_cast<unsigned char>(c))) return name_atom();
+    if (c == '\'') return quoted_atom();
+    if (c == '"') return string_lit();
+    return symbolic();
+  }
+
+ private:
+  bool eof() const { return pos_ >= src_.size(); }
+  char peek(std::size_t k = 0) const {
+    return pos_ + k < src_.size() ? src_[pos_ + k] : '\0';
+  }
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    for (;;) {
+      while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+      if (!eof() && peek() == '%') {
+        while (!eof() && peek() != '\n') advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token punct(Tok kind) {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    t.kind = kind;
+    t.text = std::string(1, advance());
+    return t;
+  }
+
+  Token number() {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    std::string digits;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      digits += advance();
+    }
+    // A '.' starts a fraction only if followed by a digit; otherwise it is
+    // the clause terminator.
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      digits += advance();
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits += advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        digits += advance();
+        if (peek() == '+' || peek() == '-') digits += advance();
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+          digits += advance();
+        }
+      }
+      t.kind = Tok::Float;
+      t.fval = std::stod(digits);
+    } else {
+      t.kind = Tok::Int;
+      t.ival = std::stoll(digits);
+    }
+    t.text = digits;
+    return t;
+  }
+
+  Token var() {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    t.kind = Tok::Var;
+    while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_')) {
+      t.text += advance();
+    }
+    return t;
+  }
+
+  Token name_atom() {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    t.kind = Tok::Atom;
+    while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_')) {
+      t.text += advance();
+    }
+    t.opens_call = (peek() == '(');
+    return t;
+  }
+
+  Token quoted_atom() {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    t.kind = Tok::Atom;
+    advance();  // opening '
+    for (;;) {
+      if (eof()) throw ParseError("unterminated quoted atom", t.line, t.col);
+      char c = advance();
+      if (c == '\\' && !eof()) {
+        t.text += advance();
+        continue;
+      }
+      if (c == '\'') break;
+      t.text += c;
+    }
+    t.opens_call = (peek() == '(');
+    return t;
+  }
+
+  Token string_lit() {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    t.kind = Tok::Str;
+    advance();  // opening "
+    for (;;) {
+      if (eof()) throw ParseError("unterminated string", t.line, t.col);
+      char c = advance();
+      if (c == '\\' && !eof()) {
+        char e = advance();
+        switch (e) {
+          case 'n':
+            t.text += '\n';
+            break;
+          case 't':
+            t.text += '\t';
+            break;
+          default:
+            t.text += e;
+        }
+        continue;
+      }
+      if (c == '"') break;
+      t.text += c;
+    }
+    return t;
+  }
+
+  Token symbolic() {
+    static const std::string kSym = "+-*/\\^<>=~:.?@#&$";
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    if (kSym.find(peek()) == std::string::npos) {
+      throw ParseError(std::string("unexpected character '") + peek() + "'",
+                       line_, col_);
+    }
+    while (!eof() && kSym.find(peek()) != std::string::npos) {
+      t.text += advance();
+    }
+    if (t.text == ":-") {
+      t.kind = Tok::Neck;
+    } else if (t.text == ".") {
+      t.kind = Tok::ClauseEnd;
+    } else {
+      t.kind = Tok::Atom;
+      t.opens_call = (peek() == '(');
+    }
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) { shift(); }
+
+  std::vector<Clause> clauses() {
+    std::vector<Clause> out;
+    while (cur_.kind != Tok::End) {
+      out.push_back(clause());
+    }
+    return out;
+  }
+
+  Term single_term() {
+    Term t = expr(kMaxPrec);
+    expect(Tok::End, "end of input");
+    return t;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError(msg + " (got '" + cur_.text + "')", cur_.line, cur_.col);
+  }
+
+  void shift() { cur_ = lex_.next(); }
+
+  void expect(Tok k, const char* what) {
+    if (cur_.kind != k) fail(std::string("expected ") + what);
+    if (k != Tok::End) shift();
+  }
+
+  Clause clause() {
+    vars_.clear();
+    Clause c;
+    c.head = expr(kMaxPrec);
+    if (!(c.head.is_atom() || c.head.is_compound()) || c.head.is_cons() ||
+        c.head.is_tuple()) {
+      fail("clause head must be an atom or compound");
+    }
+    if (cur_.kind == Tok::Neck) {
+      shift();
+      std::vector<Term> first = goals();
+      if (cur_.kind == Tok::Bar) {
+        shift();
+        c.guard = std::move(first);
+        c.body = goals();
+      } else {
+        c.body = std::move(first);
+      }
+    }
+    expect(Tok::ClauseEnd, "'.'");
+    return c;
+  }
+
+  std::vector<Term> goals() {
+    std::vector<Term> gs;
+    gs.push_back(expr(kMaxPrec));
+    while (cur_.kind == Tok::Comma) {
+      shift();
+      gs.push_back(expr(kMaxPrec));
+    }
+    return gs;
+  }
+
+  // Precedence-climbing expression parser over binary_op().
+  Term expr(int max_prec) {
+    Term left = primary(max_prec);
+    for (;;) {
+      if (cur_.kind != Tok::Atom) return left;
+      auto op = binary_op(cur_.text);
+      if (!op || op->prec > max_prec) return left;
+      std::string name = cur_.text;
+      shift();
+      Term right = expr(op->prec - 1);
+      left = Term::compound(name, {left, right});
+      if (op->type == OpType::xfx) {
+        // xfx does not associate: nothing at or above this level may
+        // follow (A := B := C is a syntax error).
+        max_prec = op->prec - 1;
+      }
+    }
+  }
+
+  Term primary(int max_prec) {
+    switch (cur_.kind) {
+      case Tok::Int: {
+        Term t = Term::integer(cur_.ival);
+        shift();
+        return t;
+      }
+      case Tok::Float: {
+        Term t = Term::real(cur_.fval);
+        shift();
+        return t;
+      }
+      case Tok::Str: {
+        Term t = Term::str(cur_.text);
+        shift();
+        return t;
+      }
+      case Tok::Var: {
+        Term t = lookup_var(cur_.text);
+        shift();
+        return t;
+      }
+      case Tok::LParen: {
+        shift();
+        Term t = expr(kMaxPrec);
+        expect(Tok::RParen, "')'");
+        return t;
+      }
+      case Tok::LBracket:
+        return list_term();
+      case Tok::LBrace:
+        return tuple_term();
+      case Tok::Atom: {
+        std::string name = cur_.text;
+        bool call = cur_.opens_call;
+        // Unary minus on a following number or primary.
+        if (name == "-" && !call) {
+          shift();
+          if (cur_.kind == Tok::Int) {
+            Term t = Term::integer(-cur_.ival);
+            shift();
+            return t;
+          }
+          if (cur_.kind == Tok::Float) {
+            Term t = Term::real(-cur_.fval);
+            shift();
+            return t;
+          }
+          Term operand = primary(max_prec);
+          return Term::compound("-", {Term::integer(0), operand});
+        }
+        shift();
+        if (call && cur_.kind == Tok::LParen) {
+          shift();
+          std::vector<Term> args;
+          if (cur_.kind != Tok::RParen) {
+            args.push_back(expr(kMaxPrec));
+            while (cur_.kind == Tok::Comma) {
+              shift();
+              args.push_back(expr(kMaxPrec));
+            }
+          }
+          expect(Tok::RParen, "')'");
+          return Term::compound(std::move(name), std::move(args));
+        }
+        return Term::atom(std::move(name));
+      }
+      default:
+        fail("expected a term");
+    }
+  }
+
+  Term list_term() {
+    expect(Tok::LBracket, "'['");
+    if (cur_.kind == Tok::RBracket) {
+      shift();
+      return Term::nil();
+    }
+    std::vector<Term> items;
+    items.push_back(expr(kMaxPrec));
+    while (cur_.kind == Tok::Comma) {
+      shift();
+      items.push_back(expr(kMaxPrec));
+    }
+    Term tail = Term::nil();
+    if (cur_.kind == Tok::Bar) {
+      shift();
+      tail = expr(kMaxPrec);
+    }
+    expect(Tok::RBracket, "']'");
+    return Term::list(std::move(items), std::move(tail));
+  }
+
+  Term tuple_term() {
+    expect(Tok::LBrace, "'{'");
+    std::vector<Term> items;
+    if (cur_.kind != Tok::RBrace) {
+      items.push_back(expr(kMaxPrec));
+      while (cur_.kind == Tok::Comma) {
+        shift();
+        items.push_back(expr(kMaxPrec));
+      }
+    }
+    expect(Tok::RBrace, "'}'");
+    return Term::tuple(std::move(items));
+  }
+
+  Term lookup_var(const std::string& name) {
+    if (name == "_") return Term::var("_");
+    auto it = vars_.find(name);
+    if (it != vars_.end()) return it->second;
+    Term v = Term::var(name);
+    vars_.emplace(name, v);
+    return v;
+  }
+
+  Lexer lex_;
+  Token cur_;
+  std::map<std::string, Term> vars_;
+};
+
+}  // namespace
+
+std::vector<Clause> parse_clauses(std::string_view src) {
+  return Parser(src).clauses();
+}
+
+Term parse_term(std::string_view src) { return Parser(src).single_term(); }
+
+}  // namespace motif::term

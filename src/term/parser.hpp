@@ -1,0 +1,50 @@
+// Reader for the Strand-like guarded-rule language of the paper:
+//
+//   H :- G1, ..., Gm | B1, ..., Bn.    % guard before the commit bar
+//   H :- B1, ..., Bn.                  % empty guard
+//   H.                                 % empty guard and body
+//
+// Terms: atoms, 'quoted atoms', Variables, _ (anonymous), integers,
+// floats, "strings", [lists|Tails], {tuples}, compounds, and infix
+// operators (ops.hpp) including `@` placement annotations such as
+// reduce(R,RV)@random or server_init(N,I,O)@J.
+//
+// Comments run from % to end of line.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "term/term.hpp"
+
+namespace motif::term {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, int line, int col)
+      : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + msg),
+        line(line),
+        col(col) {}
+  int line;
+  int col;
+};
+
+/// One guarded rule. (Named Clause here; Program in program.hpp aggregates
+/// clauses into process definitions.)
+struct Clause {
+  Term head;
+  std::vector<Term> guard;
+  std::vector<Term> body;
+};
+
+/// Parses a whole source text into clauses, in order.
+std::vector<Clause> parse_clauses(std::string_view src);
+
+/// Parses a single term (no trailing '.'). Variables with the same name
+/// share a cell within this call.
+Term parse_term(std::string_view src);
+
+}  // namespace motif::term

@@ -1,0 +1,134 @@
+#include "term/program.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "term/subst.hpp"
+#include "term/writer.hpp"
+
+namespace motif::term {
+
+GoalView strip_placement(const Term& goal) {
+  Term d = goal.deref();
+  if (d.is_compound() && d.functor() == "@" && d.arity() == 2) {
+    return GoalView{d.arg(0), d.arg(1), true};
+  }
+  return GoalView{d, Term::nil(), false};
+}
+
+ProcKey goal_key(const Term& goal) {
+  Term g = strip_placement(goal).goal.deref();
+  return ProcKey{g.functor(), g.arity()};
+}
+
+Program Program::parse(std::string_view src) {
+  return Program(parse_clauses(src));
+}
+
+Program Program::linked_with(const Program& lib) const {
+  // Keep clause order within each definition; definitions of the
+  // application come first, then library definitions. Library clauses for
+  // an already-present definition are appended right after it so the
+  // grouped listing stays coherent.
+  Program out = *this;
+  for (const auto& c : lib.clauses_) out.clauses_.push_back(c);
+  return out;
+}
+
+std::vector<ProcKey> Program::defined() const {
+  std::vector<ProcKey> out;
+  for (const auto& c : clauses_) {
+    ProcKey k{c.head.functor(), c.head.arity()};
+    if (std::find(out.begin(), out.end(), k) == out.end()) out.push_back(k);
+  }
+  return out;
+}
+
+bool Program::defines(const ProcKey& k) const {
+  return std::any_of(clauses_.begin(), clauses_.end(), [&](const Clause& c) {
+    return c.head.functor() == k.name && c.head.arity() == k.arity;
+  });
+}
+
+std::vector<Clause> Program::rules_for(const ProcKey& k) const {
+  std::vector<Clause> out;
+  for (const auto& c : clauses_) {
+    if (c.head.functor() == k.name && c.head.arity() == k.arity) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::map<ProcKey, std::set<ProcKey>> Program::call_graph() const {
+  std::map<ProcKey, std::set<ProcKey>> g;
+  for (const auto& c : clauses_) {
+    ProcKey from{c.head.functor(), c.head.arity()};
+    auto& out = g[from];
+    for (const auto& goal : c.body) {
+      Term stripped = strip_placement(goal).goal.deref();
+      if (stripped.is_var()) continue;  // metacall; no static edge
+      if (!stripped.is_atom() && !stripped.is_compound()) continue;
+      out.insert(goal_key(stripped));
+    }
+  }
+  return g;
+}
+
+std::set<ProcKey> Program::callers_of(
+    const std::function<bool(const ProcKey&)>& target) const {
+  const auto g = call_graph();
+  std::set<ProcKey> need;
+  // Seed: definitions that call a target directly.
+  for (const auto& [from, tos] : g) {
+    for (const auto& to : tos) {
+      if (target(to)) {
+        need.insert(from);
+        break;
+      }
+    }
+  }
+  // Fixpoint: definitions that call a needing definition.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [from, tos] : g) {
+      if (need.count(from)) continue;
+      for (const auto& to : tos) {
+        if (need.count(to)) {
+          need.insert(from);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return need;
+}
+
+std::string Program::to_source() const { return format_clauses(clauses_); }
+
+bool alpha_equal_clause(const Clause& a, const Clause& b) {
+  if (a.guard.size() != b.guard.size() || a.body.size() != b.body.size()) {
+    return false;
+  }
+  Bindings va, vb;
+  if (!alpha_equal(a.head, b.head, va, vb)) return false;
+  for (std::size_t i = 0; i < a.guard.size(); ++i) {
+    if (!alpha_equal(a.guard[i], b.guard[i], va, vb)) return false;
+  }
+  for (std::size_t i = 0; i < a.body.size(); ++i) {
+    if (!alpha_equal(a.body[i], b.body[i], va, vb)) return false;
+  }
+  return true;
+}
+
+bool Program::alpha_equivalent(const Program& other) const {
+  if (clauses_.size() != other.clauses_.size()) return false;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (!alpha_equal_clause(clauses_[i], other.clauses_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace motif::term

@@ -1,0 +1,97 @@
+// Programs: ordered collections of clauses grouped into process
+// definitions (the paper's p/k notation), with the static analyses the
+// transformation engine needs — definition lookup, the call graph, and
+// reverse reachability ("the process definitions of these processes'
+// ancestors in the call graph", Server transformation step 1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "term/parser.hpp"
+#include "term/term.hpp"
+
+namespace motif::term {
+
+/// Identity of a process definition: name/arity.
+struct ProcKey {
+  std::string name;
+  std::size_t arity = 0;
+  auto operator<=>(const ProcKey&) const = default;
+  std::string to_string() const {
+    return name + "/" + std::to_string(arity);
+  }
+};
+
+/// Strips a placement annotation: for Goal@Where returns (Goal, Where);
+/// otherwise (Goal, nullopt-as-nil marker via `annotated=false`).
+struct GoalView {
+  Term goal;
+  Term placement;   // meaningful iff annotated
+  bool annotated = false;
+};
+GoalView strip_placement(const Term& goal);
+
+/// Key of a call/goal term (after stripping placement).
+ProcKey goal_key(const Term& goal);
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Clause> clauses)
+      : clauses_(std::move(clauses)) {}
+
+  /// Parses source text.
+  static Program parse(std::string_view src);
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  std::vector<Clause>& clauses() { return clauses_; }
+  bool empty() const { return clauses_.empty(); }
+
+  void add(Clause c) { clauses_.push_back(std::move(c)); }
+
+  /// Links `lib` after this program (the paper's A' = T(A) ∪ L). Clauses
+  /// for a process already defined here are appended to that definition's
+  /// rule list (definitions merge, as when a library supplies extra rules).
+  Program linked_with(const Program& lib) const;
+
+  /// All defined process keys, in first-definition order.
+  std::vector<ProcKey> defined() const;
+
+  bool defines(const ProcKey& k) const;
+
+  /// Clauses whose head matches `k`, in program order.
+  std::vector<Clause> rules_for(const ProcKey& k) const;
+
+  /// Direct callees of each definition (body goals only; placement
+  /// annotations stripped; guards are tests, not spawns).
+  std::map<ProcKey, std::set<ProcKey>> call_graph() const;
+
+  /// Definitions from which a call path reaches any key satisfying
+  /// `target` — including definitions that call a target directly.
+  /// This is the "ancestors in the call graph" set of the Server
+  /// transformation.
+  std::set<ProcKey> callers_of(
+      const std::function<bool(const ProcKey&)>& target) const;
+
+  /// Renders the program back to source (writer.hpp).
+  std::string to_source() const;
+
+  /// Structural equality up to variable renaming, clause by clause in
+  /// order. The golden tests compare transformation outputs against the
+  /// paper's listings with this.
+  bool alpha_equivalent(const Program& other) const;
+
+ private:
+  std::vector<Clause> clauses_;
+};
+
+/// Alpha-equivalence of two clauses (one shared renaming across head,
+/// guard and body).
+bool alpha_equal_clause(const Clause& a, const Clause& b);
+
+}  // namespace motif::term

@@ -1,0 +1,147 @@
+#include "term/subst.hpp"
+
+namespace motif::term {
+
+bool match(const Term& pattern, const Term& value, Bindings& b) {
+  Term p = pattern.deref();
+  Term v = value.deref();
+  if (p.is_var()) {
+    auto it = b.find(p);
+    if (it != b.end()) return it->second.equals(v) || it->second.same_node(v);
+    b.emplace(p, v);
+    return true;
+  }
+  if (v.is_var()) return false;  // value vars only match pattern vars
+  if (p.tag() != v.tag()) return false;
+  switch (p.tag()) {
+    case Tag::Atom:
+      return p.functor() == v.functor();
+    case Tag::Int:
+      return p.int_value() == v.int_value();
+    case Tag::Float:
+      return p.float_value() == v.float_value();
+    case Tag::Str:
+      return p.str_value() == v.str_value();
+    case Tag::Compound: {
+      if (p.functor() != v.functor() || p.arity() != v.arity()) return false;
+      for (std::size_t i = 0; i < p.arity(); ++i) {
+        if (!match(p.arg(i), v.arg(i), b)) return false;
+      }
+      return true;
+    }
+    case Tag::Var:
+      return false;  // unreachable
+  }
+  return false;
+}
+
+Term substitute(const Term& t, const Bindings& b) {
+  Term d = t.deref();
+  if (d.is_var()) {
+    auto it = b.find(d);
+    if (it == b.end()) return d;
+    // Replacements may themselves contain mapped variables (e.g. built
+    // incrementally); substitute through once.
+    return it->second.same_node(d) ? d : substitute(it->second, b);
+  }
+  if (!d.is_compound()) return d;
+  bool changed = false;
+  std::vector<Term> args;
+  args.reserve(d.arity());
+  for (const auto& a : d.args()) {
+    Term na = substitute(a, b);
+    changed |= !na.same_node(a);
+    args.push_back(std::move(na));
+  }
+  if (!changed) return d;
+  return Term::compound(d.functor(), std::move(args));
+}
+
+Term rename_fresh(const Term& t, Bindings& mapping) {
+  Term d = t.deref();
+  if (d.is_var()) {
+    auto it = mapping.find(d);
+    if (it != mapping.end()) return it->second;
+    Term fresh = Term::var(d.var_name());
+    mapping.emplace(d, fresh);
+    return fresh;
+  }
+  if (!d.is_compound()) return d;
+  std::vector<Term> args;
+  args.reserve(d.arity());
+  for (const auto& a : d.args()) args.push_back(rename_fresh(a, mapping));
+  return Term::compound(d.functor(), std::move(args));
+}
+
+Term rewrite(const Term& t,
+             const std::function<std::optional<Term>(const Term&)>& f) {
+  Term d = t.deref();
+  Term candidate = d;
+  if (d.is_compound()) {
+    bool changed = false;
+    std::vector<Term> args;
+    args.reserve(d.arity());
+    for (const auto& a : d.args()) {
+      Term na = rewrite(a, f);
+      changed |= !na.same_node(a);
+      args.push_back(std::move(na));
+    }
+    if (changed) candidate = Term::compound(d.functor(), std::move(args));
+  }
+  if (auto r = f(candidate)) return *r;
+  return candidate;
+}
+
+bool contains(const Term& t, const std::function<bool(const Term&)>& pred) {
+  Term d = t.deref();
+  if (pred(d)) return true;
+  if (!d.is_compound()) return false;
+  for (const auto& a : d.args()) {
+    if (contains(a, pred)) return true;
+  }
+  return false;
+}
+
+bool alpha_equal(const Term& a, const Term& b, Bindings& va, Bindings& vb) {
+  Term x = a.deref(), y = b.deref();
+  if (x.is_var() || y.is_var()) {
+    if (!x.is_var() || !y.is_var()) return false;
+    auto ia = va.find(x);
+    auto ib = vb.find(y);
+    if (ia == va.end() && ib == vb.end()) {
+      va.emplace(x, y);
+      vb.emplace(y, x);
+      return true;
+    }
+    if (ia == va.end() || ib == vb.end()) return false;
+    return ia->second.same_node(y) && ib->second.same_node(x);
+  }
+  if (x.tag() != y.tag()) return false;
+  switch (x.tag()) {
+    case Tag::Atom:
+      return x.functor() == y.functor();
+    case Tag::Int:
+      return x.int_value() == y.int_value();
+    case Tag::Float:
+      return x.float_value() == y.float_value();
+    case Tag::Str:
+      return x.str_value() == y.str_value();
+    case Tag::Compound: {
+      if (x.functor() != y.functor() || x.arity() != y.arity()) return false;
+      for (std::size_t i = 0; i < x.arity(); ++i) {
+        if (!alpha_equal(x.arg(i), y.arg(i), va, vb)) return false;
+      }
+      return true;
+    }
+    case Tag::Var:
+      return false;  // unreachable
+  }
+  return false;
+}
+
+bool alpha_equal(const Term& a, const Term& b) {
+  Bindings va, vb;
+  return alpha_equal(a, b, va, vb);
+}
+
+}  // namespace motif::term

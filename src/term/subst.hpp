@@ -1,0 +1,45 @@
+// Pattern matching, substitution and renaming over terms — the toolkit the
+// transformation engine (src/transform) is written with, mirroring the
+// paper's "transformations as programs that manipulate these terms".
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "term/term.hpp"
+
+namespace motif::term {
+
+/// Variable-cell -> replacement term.
+using Bindings = std::unordered_map<Term, Term, TermHash, TermIdEq>;
+
+/// One-way (pattern) match: variables in `pattern` bind consistently to
+/// subterms of `value`; variables in `value` only match the same variable
+/// cell. On failure `b` may contain partial bindings. Syntactic — does not
+/// bind run-time variables.
+bool match(const Term& pattern, const Term& value, Bindings& b);
+
+/// Applies `b` to `t`, replacing every mapped variable (recursively through
+/// the replacement too). Unmapped variables stay.
+Term substitute(const Term& t, const Bindings& b);
+
+/// Structure-preserving copy with every distinct variable replaced by a
+/// fresh one; `mapping` accumulates old-var -> new-var so several terms
+/// (head + body of a rule) can share the renaming.
+Term rename_fresh(const Term& t, Bindings& mapping);
+
+/// Bottom-up rewrite: applies `f` to every subterm (children first); if `f`
+/// returns a term, it replaces the subterm.
+Term rewrite(const Term& t,
+             const std::function<std::optional<Term>(const Term&)>& f);
+
+/// True if some subterm satisfies `pred`.
+bool contains(const Term& t, const std::function<bool(const Term&)>& pred);
+
+/// Alpha-equivalence: equal up to a consistent bijective renaming of
+/// unbound variables. `va`/`vb` accumulate the two-way mapping so several
+/// terms (e.g. the parts of a clause) can share one renaming.
+bool alpha_equal(const Term& a, const Term& b, Bindings& va, Bindings& vb);
+bool alpha_equal(const Term& a, const Term& b);
+
+}  // namespace motif::term

@@ -1,0 +1,111 @@
+#include "term/writer.hpp"
+
+#include <sstream>
+
+#include "term/ops.hpp"
+
+namespace motif::term {
+
+namespace {
+
+// Prints `t` in a context accepting operators of precedence <= max_prec;
+// wraps in parentheses otherwise.
+void emit(const Term& t, int max_prec, std::ostream& os) {
+  Term d = t.deref();
+  if (d.is_compound() && d.arity() == 2 && !d.is_cons()) {
+    if (auto op = binary_op(d.functor())) {
+      const bool parens = op->prec > max_prec;
+      if (parens) os << '(';
+      const int lp = op->type == OpType::yfx ? op->prec : op->prec - 1;
+      emit(d.arg(0), lp, os);
+      // Spaces around word-like and comparison ops; tight for @.
+      if (d.functor() == "@") {
+        os << '@';
+      } else {
+        os << ' ' << d.functor() << ' ';
+      }
+      emit(d.arg(1), op->prec - 1, os);
+      if (parens) os << ')';
+      return;
+    }
+  }
+  if (d.is_cons()) {
+    os << '[';
+    emit(d.arg(0), kMaxPrec, os);
+    Term cur = d.arg(1).deref();
+    while (cur.is_cons()) {
+      os << ',';
+      emit(cur.arg(0), kMaxPrec, os);
+      cur = cur.arg(1).deref();
+    }
+    if (!cur.is_nil()) {
+      os << '|';
+      emit(cur, kMaxPrec, os);
+    }
+    os << ']';
+    return;
+  }
+  if (d.is_tuple()) {
+    os << '{';
+    for (std::size_t i = 0; i < d.arity(); ++i) {
+      if (i) os << ',';
+      emit(d.arg(i), kMaxPrec, os);
+    }
+    os << '}';
+    return;
+  }
+  if (d.is_compound()) {
+    os << Term::atom(d.functor()).to_string() << '(';
+    for (std::size_t i = 0; i < d.arity(); ++i) {
+      if (i) os << ',';
+      emit(d.arg(i), kMaxPrec, os);
+    }
+    os << ')';
+    return;
+  }
+  os << d.to_string();
+}
+
+}  // namespace
+
+std::string format_term(const Term& t) {
+  std::ostringstream os;
+  emit(t, kMaxPrec, os);
+  return os.str();
+}
+
+std::string format_clause(const Clause& c) {
+  std::ostringstream os;
+  emit(c.head, kMaxPrec, os);
+  if (!c.guard.empty() || !c.body.empty()) {
+    os << " :- ";
+    for (std::size_t i = 0; i < c.guard.size(); ++i) {
+      if (i) os << ", ";
+      emit(c.guard[i], kMaxPrec, os);
+    }
+    if (!c.guard.empty()) os << " | ";
+    for (std::size_t i = 0; i < c.body.size(); ++i) {
+      if (i) os << ", ";
+      emit(c.body[i], kMaxPrec, os);
+    }
+  }
+  os << '.';
+  return os.str();
+}
+
+namespace {
+std::pair<std::string, std::size_t> head_key(const Clause& c) {
+  return {c.head.functor(), c.head.arity()};
+}
+}  // namespace
+
+std::string format_clauses(const std::vector<Clause>& cs) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (i > 0 && head_key(cs[i]) != head_key(cs[i - 1])) os << '\n';
+    os << format_clause(cs[i]) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace motif::term

@@ -1,0 +1,27 @@
+// Writer: renders terms and clauses back to the surface syntax the parser
+// accepts, with infix operators, so transformation outputs are readable —
+// the point of the paper's "archives of expertise" argument is that motif
+// code stays legible at every stage (compare its Figure 5).
+//
+// Round-trip property (tested): parse(format(X)) is structurally equal to X.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "term/parser.hpp"
+#include "term/term.hpp"
+
+namespace motif::term {
+
+/// Operator-aware term rendering.
+std::string format_term(const Term& t);
+
+/// "head :- guard | body." / "head :- body." / "head." rendering.
+std::string format_clause(const Clause& c);
+
+/// Whole listing, one clause per line, blank line between process
+/// definitions (consecutive clauses with different head name/arity).
+std::string format_clauses(const std::vector<Clause>& cs);
+
+}  // namespace motif::term

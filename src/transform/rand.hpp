@@ -1,0 +1,48 @@
+// The Rand motif (Section 3.3): supports the @random process-placement
+// pragma. Defined by an EMPTY library and a transformation that
+//
+//  1. replaces each call "P@random" with the sequence
+//         nodes(N), rand_num(N,O), send(O,P)
+//     (a message representing the process P goes to a randomly selected
+//     server), and
+//  2. augments the program with a server/1 definition containing one rule
+//     per @random-annotated process type (plus any caller-supplied entry
+//     message types, i.e. "the process used to initiate execution of the
+//     application"), and a rule for the halt message:
+//         server([p(V1,...,Vn)|In]) :- p(V1,...,Vn), server(In).
+//         server([halt|_]).
+//
+// The output is in the form required by the Server motif; the composition
+// Random = Server ∘ Rand yields an executable program (Figure 5).
+//
+// As the paper notes, Rand provides no termination detection: after the
+// application's result is produced, the servers remain waiting for
+// messages. terminating_driver() (below) is the optional extension it
+// sketches — a driver that waits for a result variable and then halts.
+#pragma once
+
+#include <vector>
+
+#include "term/program.hpp"
+#include "transform/motif.hpp"
+
+namespace motif::transform {
+
+/// Builds the Rand motif. `entry_message_types` lists process types that
+/// may arrive as initial messages (beyond the @random-annotated types,
+/// which are discovered automatically).
+Motif rand_motif(std::vector<term::ProcKey> entry_message_types = {});
+
+/// Keys of all @random-annotated goals in `a`, in first-occurrence order.
+std::vector<term::ProcKey> annotated_random_types(const term::Program& a);
+
+/// The optional termination-detection driver: run(EntryGoal-with-Result)
+/// is inconvenient to generate generically, so this returns the two-clause
+/// program
+///     <name>(T,V) :- <entry>(T,V), <name>_wait(V).
+///     <name>_wait(V) :- data(V) | halt.
+/// for a 2-argument entry whose second argument is the result.
+term::Program terminating_driver(const std::string& name,
+                                 const std::string& entry);
+
+}  // namespace motif::transform

@@ -1,0 +1,51 @@
+// The scheduler motif of Section 2.2 and reference [6]: "a scheduler
+// motif concerned with dynamically allocating tasks to idle processors.
+// It is easy to define a library program which creates a set of worker
+// processes and distributes data structures representing tasks to idle
+// workers. However, it would be inconvenient if programmers had to embed
+// explicit calls to this scheduler ... these functions can be
+// incorporated automatically by an application-independent
+// transformation. The programmer only needs to supply pragma specifying
+// tasks."
+//
+// The pragma is @task:    heavy(X,R)@task
+// The transformation
+//   1. replaces each call P@task with send(1, task(P)) — the task's data
+//      structure travels to the manager (server 1);
+//   2. generates a dispatcher rule per task type,
+//          run_task(p(V1,...,Vn)) :- p(V1,...,Vn).
+//      so the worker's invocation is a real call (and the Server
+//      transformation can thread DT through task types that themselves
+//      spawn tasks — nested @task works);
+//   3. links the manager/worker library: the manager (server 1) keeps a
+//      task list and an idle-worker list; workers announce themselves
+//      with ready(W) and receive run(P) messages.
+//
+// Composition: Scheduler = Server ∘ Sched. Entry: the initial message of
+// create(N, task(Goal)) is itself a task, dispatched to the first idle
+// worker. Tasks synchronise through shared variables (Strand's dataflow
+// is the "data dependencies" mechanism); a worker reports ready upon
+// INITIATING its task, so long-running tasks overlap with new
+// assignments — initiation-throttled load balancing, as in the Random
+// motif's servers.
+#pragma once
+
+#include <vector>
+
+#include "term/program.hpp"
+#include "transform/motif.hpp"
+
+namespace motif::transform {
+
+/// Builds the Sched motif. `entry_task_types` lists task types that only
+/// appear in initial messages (beyond the @task-annotated types, which
+/// are discovered automatically).
+Motif sched_motif(std::vector<term::ProcKey> entry_task_types = {});
+
+/// Keys of all @task-annotated goals in `a`, in first-occurrence order.
+std::vector<term::ProcKey> annotated_task_types(const term::Program& a);
+
+/// The manager/worker library program on its own (for inspection/tests).
+term::Program sched_library();
+
+}  // namespace motif::transform

@@ -1,0 +1,101 @@
+#include "transform/server.hpp"
+
+namespace motif::transform {
+
+using term::Clause;
+using term::GoalView;
+using term::ProcKey;
+using term::Program;
+using term::Term;
+
+namespace {
+
+bool is_primitive(const ProcKey& k) {
+  return (k.name == "send" && k.arity == 2) ||
+         (k.name == "nodes" && k.arity == 1) ||
+         (k.name == "halt" && k.arity == 0);
+}
+
+/// Appends `extra` to the argument list of atom/compound `t`.
+Term with_extra_arg(const Term& t, const Term& extra) {
+  Term d = t.deref();
+  std::vector<Term> args;
+  if (d.is_compound()) args = d.args();
+  args.push_back(extra);
+  return Term::compound(d.functor(), std::move(args));
+}
+
+}  // namespace
+
+std::set<ProcKey> needs_dt(const Program& a) {
+  return a.callers_of(is_primitive);
+}
+
+Motif server_motif() {
+  Transform t = [](const Program& a) {
+    const std::set<ProcKey> dt_defs = needs_dt(a);
+    Program out;
+    for (const Clause& c : a.clauses()) {
+      const ProcKey head_key{c.head.functor(), c.head.arity()};
+      const bool head_needs = dt_defs.count(head_key) > 0;
+      Clause nc;
+      nc.guard = c.guard;
+      FreshNamer namer(c);
+      // The unique additional variable for this clause.
+      Term dt = head_needs ? namer.fresh("DT") : Term::var("DT");
+      nc.head = head_needs ? with_extra_arg(c.head, dt) : c.head;
+      for (const Term& goal : c.body) {
+        GoalView v = term::strip_placement(goal);
+        Term g = v.goal.deref();
+        Term rewritten = g;
+        if (g.is_atom() && g.functor() == "halt") {
+          rewritten = Term::compound("send_all", {Term::atom("halt"), dt});
+        } else if (g.is_compound() && g.functor() == "send" &&
+                   g.arity() == 2) {
+          rewritten =
+              Term::compound("distribute", {g.arg(0), g.arg(1), dt});
+        } else if (g.is_compound() && g.functor() == "nodes" &&
+                   g.arity() == 1) {
+          rewritten = Term::compound("length", {dt, g.arg(0)});
+        } else if ((g.is_atom() || g.is_compound()) && !g.is_cons() &&
+                   !g.is_tuple() &&
+                   dt_defs.count(ProcKey{g.functor(), g.arity()}) > 0) {
+          rewritten = with_extra_arg(g, dt);
+        }
+        if (v.annotated) {
+          rewritten = Term::compound("@", {rewritten, v.placement});
+        }
+        nc.body.push_back(rewritten);
+      }
+      out.add(std::move(nc));
+    }
+    return out;
+  };
+  return Motif("Server", std::move(t), server_library());
+}
+
+term::Program server_library() {
+  // The network-creation program (our clean equivalent of Figure 3).
+  // create(N,Msg): one merged input stream per server via N ports, the
+  // fully-connected DT tuple shared by all servers, servers placed on
+  // nodes 1..N with the @J placement feature, and the initial message
+  // delivered to server 1.
+  static const char* kSrc = R"(
+    create(N,Msg) :-
+        make_ports(N,Ports,Ins),
+        make_tuple(Ports,DT),
+        start_servers(1,N,Ins,DT),
+        distribute(1,Msg,DT).
+
+    start_servers(J,N,[In|Ins],DT) :- J =< N |
+        boot(In,DT)@J,
+        J1 is J + 1,
+        start_servers(J1,N,Ins,DT).
+    start_servers(_,_,[],_).
+
+    boot(In,DT) :- server(In,DT).
+  )";
+  return Program::parse(kSrc);
+}
+
+}  // namespace motif::transform

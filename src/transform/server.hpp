@@ -1,0 +1,41 @@
+// The Server motif (Section 3.2): "provides the programmer with a fully
+// connected set of named servers, each capable of initiating computations
+// upon receipt of messages from other servers."
+//
+// Transformation (the paper's four steps):
+//  1. Add a new argument (DT: the tuple of output streams to every server)
+//     to every process definition that calls send/2, nodes/1 or halt/0,
+//     and to those definitions' ancestors in the call graph — and to every
+//     call site of such a definition.
+//  2. Replace send(Node,Msg)   with distribute(Node,Msg,DT).
+//  3. Replace nodes(N)         with length(DT,N).
+//  4. Replace halt             with a broadcast of halt to every stream
+//     (our primitive send_all(halt,DT)).
+//
+// Library: create(N,Msg) builds the network — N ports (one merged input
+// stream per server, the `merge` primitive), the DT tuple of ports, one
+// server process per virtual node (placed with @J, the low-level Strand
+// placement feature of Figure 3) — and delivers the initial message Msg
+// to server 1.
+//
+// The transformed program must define server/1 (which becomes server/2);
+// Rand and Tree-Reduce generate it.
+#pragma once
+
+#include "term/program.hpp"
+#include "transform/motif.hpp"
+
+namespace motif::transform {
+
+Motif server_motif();
+
+/// The server library program on its own (create/2 etc.), for inspection
+/// and the F3 tests.
+term::Program server_library();
+
+/// The set of definitions the Server transformation extends with DT
+/// (exposed for tests): callers of send/2, nodes/1 or halt/0, direct or
+/// transitive.
+std::set<term::ProcKey> needs_dt(const term::Program& a);
+
+}  // namespace motif::transform

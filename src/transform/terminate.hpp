@@ -1,0 +1,51 @@
+// The Terminate motif: Section 3.3's sketched extension, implemented —
+// "the associated transformation can be extended to thread a short
+// circuit [8] through the application program and to add code to invoke
+// the Server motif's halt operation when the application terminates."
+//
+// Transformation:
+//  * Every process definition of the application gains two circuit
+//    arguments (Cl, Cr).
+//  * In each clause body the circuit is split across the goals: the i-th
+//    threaded goal receives segment (Mi-1, Mi); the last receives
+//    (..., Cr); a clause with no threaded goals shorts its segment with
+//    Cl := Cr.
+//  * Calls to defined processes are threaded directly. The
+//    value-producing builtins := and is are wrapped —
+//        X := E  ->  tw_assign(X, E, Mi-1, Mi)
+//        X is E  ->  tw_is(X, E, Mi-1, Mi)
+//    — whose library shorts the segment only once the value exists
+//    (data(X)), so the circuit cannot close while an assignment is still
+//    suspended on dataflow. Other builtins are treated as instantaneous.
+//  * Placement annotations are preserved: an @random goal carries its
+//    circuit segment inside the eventual message, so the Rand/Server
+//    dispatch keeps the circuit intact across processors.
+//  * A terminating entry point is generated:
+//        <entry>_tw(V1..Vn) :- <entry>(V1..Vn, closed, R), tw_watch(R).
+//        tw_watch(R) :- data(R) | halt.
+//    When every process has reduced and every wrapped assignment has
+//    delivered, `closed` propagates along the aliased circuit to R and
+//    halt is broadcast.
+//
+// Composition (the paper's Figure 6 pipeline with the extension):
+//    Terminating-Tree-Reduce-1 = Server ∘ Rand ∘ Terminate ∘ Tree1.
+#pragma once
+
+#include "term/program.hpp"
+#include "transform/motif.hpp"
+
+namespace motif::transform {
+
+/// Builds the Terminate motif; `entry` is the process whose completion
+/// should trigger halt (it gains the _tw wrapper).
+Motif terminate_motif(term::ProcKey entry);
+
+/// The tw_assign/tw_is/tw_done/tw_watch library on its own.
+term::Program terminate_library();
+
+/// The full terminating tree-reduction pipeline of the paper:
+/// Server ∘ Rand ∘ Terminate(reduce/2) ∘ Tree1. Entry message:
+/// create(N, reduce_tw(Tree, Value)).
+Motif tree_reduce1_terminating_motif();
+
+}  // namespace motif::transform

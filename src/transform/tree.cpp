@@ -1,0 +1,159 @@
+#include "transform/tree.hpp"
+
+#include "transform/rand.hpp"
+#include "transform/server.hpp"
+
+namespace motif::transform {
+
+using term::ProcKey;
+using term::Program;
+
+Motif tree1_motif() {
+  // Section 3.4: "a simple motif Tree1 comprising the identity
+  // transformation and the following library program."
+  static const char* kLib = R"(
+    reduce(tree(V,L,R),Value) :-
+        reduce(R,RV)@random,
+        reduce(L,LV),
+        eval(V,LV,RV,Value).
+    reduce(leaf(L),Value) :- Value := L.
+  )";
+  return Motif("Tree1", identity_transform(), Program::parse(kLib));
+}
+
+Motif tree1_both_motif() {
+  // One edited line relative to tree1_motif(): reduce(L,LV) gains
+  // @random. This is the paper's "reuse through modification" in action:
+  // the motif library is readable source, so the variant is a one-line
+  // change that flows through the same Rand/Server pipeline.
+  static const char* kLib = R"(
+    reduce(tree(V,L,R),Value) :-
+        reduce(R,RV)@random,
+        reduce(L,LV)@random,
+        eval(V,LV,RV,Value).
+    reduce(leaf(L),Value) :- Value := L.
+  )";
+  return Motif("Tree1Both", identity_transform(), Program::parse(kLib));
+}
+
+Motif tree_reduce1_both_motif() {
+  static const char* kDriver = R"(
+    run(T,V) :- reduce(T,V), finish_run(V).
+    finish_run(V) :- data(V) | halt.
+  )";
+  Motif driver("Tree1Driver", identity_transform(), Program::parse(kDriver));
+  return compose_all({server_motif(),
+                      rand_motif({ProcKey{"run", 2}}),
+                      driver,
+                      tree1_both_motif()});
+}
+
+Motif tree_reduce1_motif() {
+  // run/2 is the optional terminating entry point (Section 3.3 sketches
+  // extending Rand with termination detection; this is the simple
+  // data-driven version: when the result is known, halt).
+  static const char* kDriver = R"(
+    run(T,V) :- reduce(T,V), finish_run(V).
+    finish_run(V) :- data(V) | halt.
+  )";
+  Motif driver("Tree1Driver", identity_transform(), Program::parse(kDriver));
+  return compose_all({server_motif(),
+                      rand_motif({ProcKey{"run", 2}}),
+                      driver,
+                      tree1_motif()});
+}
+
+Motif tree_reduce2_motif() {
+  // Section 3.5, in full. State at each server: the node table (the
+  // "tree" of Figure 7), a pending-value list, and the solution variable.
+  // Labels: parent = left child's label; sibling leaves share a label, so
+  // at most one of each node's offspring values needs an inter-processor
+  // message. Each leaf's value is sent to its parent's processor; values
+  // meet in the pending list; the computed value is forwarded to the
+  // parent's processor in turn; the root binds the solution. Termination:
+  // when the solution is known, halt is broadcast.
+  static const char* kLib = R"(
+    server(In) :- serve(In, none, [], none).
+
+    serve([start(Tree,Result)|In], none, Pending, none) :-
+        tr2_drive(Tree,Result),
+        serve(In, none, Pending, none).
+    serve([init(NT,Soln)|In], none, Pending, none) :-
+        serve(In, NT, Pending, Soln).
+    serve([value(Id,Side,V)|In], NT, Pending, Soln) :- tuple(NT) |
+        take(Id, Pending, Found, Pending1),
+        handle(Found, Id, Side, V, NT, Pending1, Pending2, Soln),
+        serve(In, NT, Pending2, Soln).
+    serve([halt|_], _, _, _).
+
+    tr2_drive(leaf(V), Result) :- Result := V, tr2_finish(Result).
+    tr2_drive(tree(Op,L,R), Result) :-
+        nodes(P),
+        rand_num(P, RootLab),
+        walk(tree(Op,L,R), RootLab, P, -1, 0, left, 1, _, NTL, [], Ms, []),
+        make_tuple(NTL, NT),
+        bcast(1, P, NT, Result, Done),
+        release(Ms, Done),
+        tr2_finish(Result).
+
+    tr2_finish(R) :- data(R) | halt.
+
+    bcast(J, P, NT, Soln, Done) :- J =< P |
+        send(J, init(NT,Soln)),
+        J1 is J + 1,
+        bcast(J1, P, NT, Soln, Done).
+    bcast(J, P, _, _, Done) :- J > P | Done := done.
+
+    release([], _).
+    release([m(Lab,Msg)|Ms], Done) :- data(Done) |
+        send(Lab, Msg),
+        release(Ms, Done).
+
+    walk(leaf(V), _, _, ParentId, ParentLab, Side, Id, IdOut,
+         NT, NTt, Ms, Mt) :-
+        IdOut := Id,
+        NT := NTt,
+        Ms := [m(ParentLab, value(ParentId,Side,V))|Mt].
+    walk(tree(Op,L,R), MyLab, P, ParentId, ParentLab, Side, Id, IdOut,
+         NT, NTt, Ms, Mt) :-
+        NT := [entry(Op,ParentId,ParentLab,Side)|NT1],
+        Id1 is Id + 1,
+        pick(L, R, MyLab, P, RLab),
+        walk(L, MyLab, P, Id, MyLab, left, Id1, Id2, NT1, NT2, Ms, Ms1),
+        walk(R, RLab, P, Id, MyLab, right, Id2, IdOut, NT2, NTt, Ms1, Mt).
+
+    pick(leaf(_), leaf(_), MyLab, _, RLab) :- RLab := MyLab.
+    pick(leaf(_), tree(_,_,_), _, P, RLab) :- rand_num(P, RLab).
+    pick(tree(_,_,_), _, _, P, RLab) :- rand_num(P, RLab).
+
+    take(_, [], Found, P1) :- Found := none, P1 := [].
+    take(Id, [pend(Id,S,V)|Rest], Found, P1) :-
+        Found := found(S,V), P1 := Rest.
+    take(Id, [pend(Id2,S,V)|Rest], Found, P1) :- Id2 =\= Id |
+        take(Id, Rest, Found, P2),
+        P1 := [pend(Id2,S,V)|P2].
+
+    handle(none, Id, Side, V, _, Pending1, Pending2, _) :-
+        Pending2 := [pend(Id,Side,V)|Pending1].
+    handle(found(S0,V0), Id, Side, V, NT, Pending1, Pending2, Soln) :-
+        Pending2 := Pending1,
+        order(Side, V, V0, LV, RV),
+        arg(Id, NT, entry(Op,ParentId,ParentLab,MySide)),
+        eval(Op, LV, RV, PV),
+        forward(PV, ParentId, ParentLab, MySide, Soln).
+
+    order(left, V, V0, LV, RV) :- LV := V, RV := V0.
+    order(right, V, V0, LV, RV) :- LV := V0, RV := V.
+
+    forward(PV, -1, _, _, Soln) :- Soln := PV.
+    forward(PV, ParentId, ParentLab, Side, _) :- ParentId >= 1 |
+        send(ParentLab, value(ParentId,Side,PV)).
+  )";
+  return Motif("TreeReduce2", identity_transform(), Program::parse(kLib));
+}
+
+Motif tree_reduce2_full_motif() {
+  return compose(server_motif(), tree_reduce2_motif());
+}
+
+}  // namespace motif::transform

@@ -1,0 +1,56 @@
+// The tree-reduction motifs of Sections 3.4 and 3.5.
+//
+// Tree1 (Section 3.4): identity transformation + the five-line
+// divide-and-conquer reduction library. Composition gives
+//     Tree-Reduce-1 = Server ∘ Rand ∘ Tree1.
+// The user supplies eval/4 (the node evaluation function) and receives a
+// reduce/2 motif; each reduction ships one subtree to a random server.
+//
+// TreeReduce2 (Section 3.5): a motif whose library implements the
+// label-based algorithm: every node is assigned a processor label (parent
+// = left child's label; sibling leaves share a label, so at most one of a
+// node's two offspring values crosses processors), leaf values are sent to
+// their parents' processors, values meet in a pending list, and each
+// processor evaluates at most one node at a time. Includes the
+// termination-detection code the paper's Tree-Reduce transformation adds:
+// when the root value is known, halt is broadcast. Composition gives
+//     Tree-Reduce-2 = Server ∘ TreeReduce2.
+//
+// Entry protocols (initial message for create/2):
+//   Tree-Reduce-1:  reduce(TreeTerm, Result)       [no termination]
+//                   run(TreeTerm, Result)          [with termination]
+//   Tree-Reduce-2:  start(TreeTerm, Result)
+// Tree terms: tree(Op,Left,Right) | leaf(Value); eval(Op,LV,RV,V) is the
+// user-supplied node function.
+#pragma once
+
+#include "term/program.hpp"
+#include "transform/motif.hpp"
+
+namespace motif::transform {
+
+/// The five-line divide-and-conquer library (identity transformation).
+Motif tree1_motif();
+
+/// Reuse through modification (Section 1: users "define variants of
+/// existing motifs that provide modified functionality"): the Tree1
+/// library with BOTH subtrees shipped to random processors instead of
+/// one. Same interface; different schedule (more messages, the spawning
+/// processor only coordinates).
+Motif tree1_both_motif();
+
+/// Server ∘ Rand ∘ Tree1Both with the run/2 terminating driver.
+Motif tree_reduce1_both_motif();
+
+/// Server ∘ Rand ∘ Tree1, with entry message types reduce/2 and run/2
+/// (run/2 adds the termination-detection driver the paper sketches).
+Motif tree_reduce1_motif();
+
+/// The label-based motif: library implementing Section 3.5 (pre-Server
+/// form: uses send/nodes/halt and defines server/1).
+Motif tree_reduce2_motif();
+
+/// Server ∘ TreeReduce2.
+Motif tree_reduce2_full_motif();
+
+}  // namespace motif::transform

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "align/profile.hpp"
+#include "align/sequence.hpp"
+
+namespace al = motif::align;
+namespace rt = motif::rt;
+
+TEST(Profile, FromSequence) {
+  al::Profile p("ACGU");
+  EXPECT_EQ(p.length(), 4u);
+  EXPECT_EQ(p.depth(), 1u);
+  EXPECT_FLOAT_EQ(p.column(0)[0], 1.0f);  // A
+  EXPECT_FLOAT_EQ(p.column(1)[1], 1.0f);  // C
+  EXPECT_FLOAT_EQ(p.column(2)[2], 1.0f);  // G
+  EXPECT_FLOAT_EQ(p.column(3)[3], 1.0f);  // U
+  EXPECT_EQ(p.consensus(), "ACGU");
+}
+
+TEST(Profile, SingleSequenceEntropyIsZero) {
+  al::Profile p("ACGUACGU");
+  EXPECT_DOUBLE_EQ(p.mean_entropy(), 0.0);
+}
+
+TEST(Profile, TracksLiveBytes) {
+  rt::live_bytes().reset();
+  {
+    al::Profile p(std::string(1000, 'A'));
+    EXPECT_GE(rt::live_bytes().current(),
+              static_cast<std::int64_t>(1000 * sizeof(al::Column)));
+  }
+  EXPECT_EQ(rt::live_bytes().current(), 0);
+}
+
+TEST(ProfileAlign, IdenticalSequencesNoGaps) {
+  al::Profile a("ACGUACGU"), b("ACGUACGU");
+  auto merged = al::align_profiles(a, b);
+  EXPECT_EQ(merged.length(), 8u);
+  EXPECT_EQ(merged.depth(), 2u);
+  EXPECT_EQ(merged.consensus(), "ACGUACGU");
+  EXPECT_DOUBLE_EQ(merged.mean_entropy(), 0.0);
+}
+
+TEST(ProfileAlign, GapInsertedForDeletion) {
+  al::Profile a("ACGU"), b("AGU");
+  auto merged = al::align_profiles(a, b);
+  EXPECT_EQ(merged.length(), 4u);
+  // Column 1 holds C from a and a gap from b.
+  EXPECT_FLOAT_EQ(merged.column(1)[1], 1.0f);
+  EXPECT_FLOAT_EQ(merged.column(1)[4], 1.0f);
+}
+
+TEST(ProfileAlign, MatchesPairwiseNWForSingletons) {
+  // Profile-profile alignment of two single-sequence profiles must place
+  // gaps like plain NW (same DP, same scores).
+  rt::Rng rng(11);
+  for (int round = 0; round < 6; ++round) {
+    auto sa = al::random_sequence(rng, 20 + rng.below(20));
+    auto sb = al::evolve(sa, 4.0, {}, rng);
+    auto nw = al::needleman_wunsch(sa, sb);
+    auto merged = al::align_profiles(al::Profile(sa), al::Profile(sb));
+    EXPECT_EQ(merged.length(), nw.aligned_a.size());
+  }
+}
+
+TEST(ProfileAlign, DepthAccumulates) {
+  al::Profile a("ACGU"), b("ACGU"), c("ACGU");
+  auto ab = al::align_profiles(a, b);
+  auto abc = al::align_profiles(ab, c);
+  EXPECT_EQ(abc.depth(), 3u);
+  // Column mass equals depth at every column.
+  for (std::size_t i = 0; i < abc.length(); ++i) {
+    float mass = 0;
+    for (float f : abc.column(i)) mass += f;
+    EXPECT_FLOAT_EQ(mass, 3.0f);
+  }
+}
+
+TEST(ColumnScore, MatchBeatsMismatchBeatsGap) {
+  al::NWParams p;
+  al::Column a{1, 0, 0, 0, 0};  // A
+  al::Column c{0, 1, 0, 0, 0};  // C
+  al::Column g{0, 0, 0, 0, 1};  // gap
+  EXPECT_GT(al::column_score(a, a, p), al::column_score(a, c, p));
+  EXPECT_GT(al::column_score(a, c, p), al::column_score(a, g, p));
+  EXPECT_DOUBLE_EQ(al::column_score(g, g, p), 0.0);
+}
+
+TEST(SumOfPairs, PerfectColumnsScoreHigher) {
+  al::Profile a1("AAAA"), a2("AAAA");
+  auto aligned = al::align_profiles(a1, a2);
+  al::Profile b1("AAAA"), b2("CCCC");
+  auto mixed = al::align_profiles(b1, b2);
+  EXPECT_GT(al::sum_of_pairs(aligned), al::sum_of_pairs(mixed));
+}
+
+TEST(SumOfPairs, SingleSequenceIsZero) {
+  al::Profile p("ACGU");
+  EXPECT_DOUBLE_EQ(al::sum_of_pairs(p), 0.0);
+}

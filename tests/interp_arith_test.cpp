@@ -1,0 +1,178 @@
+#include "interp/arith.hpp"
+
+#include <gtest/gtest.h>
+
+#include "term/parser.hpp"
+
+namespace in = motif::interp;
+using in::eval_arith;
+using in::eval_comparison;
+using in::Number;
+using in::Suspended;
+using in::Truth;
+using motif::term::parse_term;
+using motif::term::Term;
+
+namespace {
+std::int64_t as_int(const in::ArithResult& r) {
+  return std::get<std::int64_t>(std::get<Number>(r));
+}
+double as_double(const in::ArithResult& r) {
+  return std::get<double>(std::get<Number>(r));
+}
+bool suspended(const in::ArithResult& r) {
+  return std::holds_alternative<Suspended>(r);
+}
+}  // namespace
+
+TEST(Arith, Literals) {
+  EXPECT_EQ(as_int(eval_arith(Term::integer(5))), 5);
+  EXPECT_DOUBLE_EQ(as_double(eval_arith(Term::real(2.5))), 2.5);
+}
+
+TEST(Arith, IntegerOps) {
+  EXPECT_EQ(as_int(eval_arith(parse_term("1 + 2 * 3"))), 7);
+  EXPECT_EQ(as_int(eval_arith(parse_term("10 - 4"))), 6);
+  EXPECT_EQ(as_int(eval_arith(parse_term("7 / 2"))), 3);
+  EXPECT_EQ(as_int(eval_arith(parse_term("7 // 2"))), 3);
+  EXPECT_EQ(as_int(eval_arith(parse_term("7 mod 3"))), 1);
+  EXPECT_EQ(as_int(eval_arith(parse_term("-7 mod 3"))), 2);  // math mod
+  EXPECT_EQ(as_int(eval_arith(parse_term("min(3,5)"))), 3);
+  EXPECT_EQ(as_int(eval_arith(parse_term("max(3,5)"))), 5);
+  EXPECT_EQ(as_int(eval_arith(parse_term("abs(-9)"))), 9);
+}
+
+TEST(Arith, MixedPromotesToFloat) {
+  EXPECT_DOUBLE_EQ(as_double(eval_arith(parse_term("1 + 2.5"))), 3.5);
+  EXPECT_DOUBLE_EQ(as_double(eval_arith(parse_term("5 / 2.0"))), 2.5);
+}
+
+TEST(Arith, Errors) {
+  EXPECT_THROW(eval_arith(parse_term("1 / 0")), in::ArithError);
+  EXPECT_THROW(eval_arith(parse_term("1 mod 0")), in::ArithError);
+  EXPECT_THROW(eval_arith(parse_term("1 + foo")), in::ArithError);
+  EXPECT_THROW(eval_arith(parse_term("1.5 mod 2")), in::ArithError);
+  EXPECT_THROW(eval_arith(parse_term("[1,2]")), in::ArithError);
+}
+
+TEST(Arith, SuspendsOnUnbound) {
+  Term e = parse_term("X + 1");
+  auto r = eval_arith(e);
+  ASSERT_TRUE(suspended(r));
+  EXPECT_TRUE(std::get<Suspended>(r).var.same_node(e.arg(0)));
+  e.arg(0).bind(Term::integer(4));
+  EXPECT_EQ(as_int(eval_arith(e)), 5);
+}
+
+TEST(Arith, SuspendsOnLeftmostUnbound) {
+  Term e = parse_term("X + Y");
+  auto r = eval_arith(e);
+  ASSERT_TRUE(suspended(r));
+  EXPECT_TRUE(std::get<Suspended>(r).var.same_node(e.arg(0)));
+}
+
+TEST(Arith, LooksArithmetic) {
+  EXPECT_TRUE(in::looks_arithmetic(parse_term("1 + 2")));
+  EXPECT_TRUE(in::looks_arithmetic(parse_term("3")));
+  EXPECT_TRUE(in::looks_arithmetic(parse_term("N - 1")));
+  EXPECT_FALSE(in::looks_arithmetic(parse_term("X")));
+  EXPECT_FALSE(in::looks_arithmetic(parse_term("[X|Xs]")));
+  EXPECT_FALSE(in::looks_arithmetic(parse_term("{1,2}")));
+  EXPECT_FALSE(in::looks_arithmetic(parse_term("foo(1)")));
+  EXPECT_FALSE(in::looks_arithmetic(parse_term("sync")));
+}
+
+TEST(Compare, Numeric) {
+  EXPECT_EQ(eval_comparison("<", Term::integer(1), Term::integer(2)).truth,
+            Truth::Yes);
+  EXPECT_EQ(eval_comparison(">", Term::integer(1), Term::integer(2)).truth,
+            Truth::No);
+  EXPECT_EQ(eval_comparison("=<", Term::integer(2), Term::integer(2)).truth,
+            Truth::Yes);
+  EXPECT_EQ(eval_comparison(">=", Term::integer(2), Term::integer(3)).truth,
+            Truth::No);
+  EXPECT_EQ(eval_comparison("=:=", Term::integer(2), Term::real(2.0)).truth,
+            Truth::Yes);
+}
+
+TEST(Compare, EvaluatesExpressions) {
+  EXPECT_EQ(
+      eval_comparison("<", parse_term("1 + 1"), parse_term("3 * 1")).truth,
+      Truth::Yes);
+}
+
+TEST(Compare, SuspendsOnUnbound) {
+  Term x = Term::var("X");
+  auto r = eval_comparison(">", x, Term::integer(0));
+  EXPECT_EQ(r.truth, Truth::Suspend);
+  EXPECT_TRUE(r.suspend_var.same_node(x));
+}
+
+TEST(Compare, StructuralEquality) {
+  EXPECT_EQ(
+      eval_comparison("==", parse_term("f(1,[a])"), parse_term("f(1,[a])"))
+          .truth,
+      Truth::Yes);
+  EXPECT_EQ(
+      eval_comparison("==", parse_term("f(1)"), parse_term("f(2)")).truth,
+      Truth::No);
+  EXPECT_EQ(
+      eval_comparison("\\==", parse_term("a"), parse_term("b")).truth,
+      Truth::Yes);
+  // =\= is ARITHMETIC not-equal (companion of =:=).
+  EXPECT_EQ(eval_comparison("=\\=", parse_term("2 + 2"),
+                            parse_term("5")).truth,
+            Truth::Yes);
+  EXPECT_EQ(eval_comparison("=\\=", parse_term("2 + 2"),
+                            parse_term("4")).truth,
+            Truth::No);
+  EXPECT_THROW(eval_comparison("=\\=", parse_term("a"), parse_term("b")),
+               in::ArithError);
+}
+
+TEST(Compare, StructuralSuspendsOnVars) {
+  Term a = parse_term("f(X)");
+  auto r = eval_comparison("==", a, parse_term("f(1)"));
+  EXPECT_EQ(r.truth, Truth::Suspend);
+  // Same unbound var on both sides is decidable.
+  Term x = Term::var("X");
+  EXPECT_EQ(eval_comparison("==", x, x).truth, Truth::Yes);
+}
+
+TEST(Compare, NumbersCompareStructurallyByValueAndType) {
+  EXPECT_EQ(eval_comparison("==", Term::integer(2), Term::real(2.0)).truth,
+            Truth::No);
+  EXPECT_EQ(eval_comparison("==", Term::integer(2), Term::integer(2)).truth,
+            Truth::Yes);
+}
+
+TEST(TypeTests, Basics) {
+  auto yes = [](std::optional<in::GuardResult> r) {
+    return r && r->truth == Truth::Yes;
+  };
+  auto no = [](std::optional<in::GuardResult> r) {
+    return r && r->truth == Truth::No;
+  };
+  EXPECT_TRUE(yes(in::eval_type_test("integer", Term::integer(1))));
+  EXPECT_TRUE(no(in::eval_type_test("integer", Term::real(1.0))));
+  EXPECT_TRUE(yes(in::eval_type_test("number", Term::real(1.0))));
+  EXPECT_TRUE(yes(in::eval_type_test("atom", Term::atom("a"))));
+  EXPECT_TRUE(yes(in::eval_type_test("list", parse_term("[1]"))));
+  EXPECT_TRUE(yes(in::eval_type_test("list", parse_term("[]"))));
+  EXPECT_TRUE(no(in::eval_type_test("list", parse_term("{1}"))));
+  EXPECT_TRUE(yes(in::eval_type_test("tuple", parse_term("{1,2}"))));
+  EXPECT_TRUE(yes(in::eval_type_test("string", Term::str("s"))));
+  EXPECT_TRUE(yes(in::eval_type_test("compound", parse_term("f(1)"))));
+  EXPECT_FALSE(in::eval_type_test("no_such_test", Term::integer(1)));
+}
+
+TEST(TypeTests, SuspendOnVar) {
+  Term x = Term::var("X");
+  auto r = in::eval_type_test("integer", x);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->truth, Truth::Suspend);
+  auto d = in::eval_type_test("data", x);
+  EXPECT_EQ(d->truth, Truth::Suspend);
+  x.bind(Term::atom("now"));
+  EXPECT_EQ(in::eval_type_test("data", x)->truth, Truth::Yes);
+}

@@ -1,0 +1,162 @@
+// Builtins: the motif primitives of Section 3 (rand_num, distribute,
+// length, ports/merge, make_tuple, arg) plus utility builtins.
+#include <gtest/gtest.h>
+
+#include "interp/interp.hpp"
+#include "term/parser.hpp"
+
+namespace in = motif::interp;
+using in::Interp;
+using in::InterpOptions;
+using motif::term::parse_term;
+using motif::term::Program;
+using motif::term::Term;
+
+namespace {
+InterpOptions small() {
+  InterpOptions o;
+  o.nodes = 2;
+  o.workers = 2;
+  return o;
+}
+}  // namespace
+
+TEST(Builtins, LengthOfListAndTuple) {
+  Interp i(Program::parse(
+      "go(A,B) :- length([x,y,z],A), length({p,q},B)."),
+      small());
+  auto [g, r] = i.run_query("go(A,B)");
+  EXPECT_EQ(g.arg(0).int_value(), 3);
+  EXPECT_EQ(g.arg(1).int_value(), 2);
+}
+
+TEST(Builtins, LengthSuspendsOnUnboundSpine) {
+  Interp i(Program::parse(
+      "go(N) :- mk(L), length(L,N).\n"
+      "mk(L) :- L := [a,b]."),
+      small());
+  EXPECT_EQ(i.run_query("go(N)").first.arg(0).int_value(), 2);
+}
+
+TEST(Builtins, LengthImproperListIsError) {
+  Interp i(Program::parse("go(N) :- length([a|b],N)."), small());
+  EXPECT_THROW(i.run(parse_term("go(N)")), in::InterpError);
+}
+
+TEST(Builtins, RandNumInRange) {
+  Interp i(Program::parse(
+      "go([]).\n"
+      "go([V|Vs]) :- rand_num(5,V), go(Vs)."),
+      small());
+  auto [g, r] = i.run_query("go([A,B,C,D,E,F,G,H])");
+  auto values = g.arg(0).proper_list();
+  ASSERT_TRUE(values.has_value());
+  for (const auto& v : *values) {
+    EXPECT_GE(v.int_value(), 1);
+    EXPECT_LE(v.int_value(), 5);
+  }
+}
+
+TEST(Builtins, RandNumOneIsAlwaysOne) {
+  Interp i(Program::parse("go(V) :- rand_num(1,V)."), small());
+  EXPECT_EQ(i.run_query("go(V)").first.arg(0).int_value(), 1);
+}
+
+TEST(Builtins, RandNumBadBound) {
+  Interp i(Program::parse("go(V) :- rand_num(0,V)."), small());
+  EXPECT_THROW(i.run(parse_term("go(V)")), in::InterpError);
+}
+
+TEST(Builtins, MakeTupleFromCountAndList) {
+  Interp i(Program::parse(
+      "go(T,U) :- make_tuple(3,T), make_tuple([a,b],U)."),
+      small());
+  auto [g, r] = i.run_query("go(T,U)");
+  EXPECT_TRUE(g.arg(0).is_tuple());
+  EXPECT_EQ(g.arg(0).arity(), 3u);
+  EXPECT_TRUE(g.arg(1) == parse_term("{a,b}"));
+}
+
+TEST(Builtins, ArgExtractsTupleElement) {
+  Interp i(Program::parse("go(A) :- arg(2,{x,y,z},A)."), small());
+  EXPECT_EQ(i.run_query("go(A)").first.arg(0).functor(), "y");
+}
+
+TEST(Builtins, ArgOutOfRangeIsError) {
+  Interp i(Program::parse("go(A) :- arg(4,{x},A)."), small());
+  EXPECT_THROW(i.run(parse_term("go(A)")), in::InterpError);
+}
+
+TEST(Builtins, PortsDeliverMessagesToStream) {
+  // make_ports gives ports and their message streams; distribute appends.
+  Interp i(Program::parse(
+      "go(In1,In2) :- make_ports(2,Ports,[I1,I2]), In1 := I1, In2 := I2, "
+      "make_tuple(Ports,DT), distribute(1,hello,DT), "
+      "distribute(2,world,DT), distribute(1,again,DT)."),
+      small());
+  auto [g, r] = i.run_query("go(In1,In2)");
+  // Streams stay open (no close), so walk the bound prefix.
+  Term s1 = g.arg(0).deref();
+  ASSERT_TRUE(s1.is_cons());
+  EXPECT_EQ(s1.head().functor(), "hello");
+  Term s1b = s1.tail().deref();
+  ASSERT_TRUE(s1b.is_cons());
+  EXPECT_EQ(s1b.head().functor(), "again");
+  EXPECT_TRUE(s1b.tail().deref().is_var());
+  Term s2 = g.arg(1).deref();
+  ASSERT_TRUE(s2.is_cons());
+  EXPECT_EQ(s2.head().functor(), "world");
+}
+
+TEST(Builtins, ConsumerSuspendsOnPortStreamThenWakes) {
+  Interp i(Program::parse(
+      "go(R) :- make_ports(1,[P],[In]), make_tuple([P],DT), "
+      "consume(In,R), distribute(1,payload,DT).\n"
+      "consume([M|_],R) :- R := M."),
+      small());
+  EXPECT_EQ(i.run_query("go(R)").first.arg(0).functor(), "payload");
+}
+
+TEST(Builtins, SendAllBroadcasts) {
+  Interp i(Program::parse(
+      "go(A,B) :- make_ports(2,Ports,[I1,I2]), make_tuple(Ports,DT), "
+      "send_all(halt,DT), first(I1,A), first(I2,B).\n"
+      "first([M|_],R) :- R := M."),
+      small());
+  auto [g, r] = i.run_query("go(A,B)");
+  EXPECT_EQ(g.arg(0).functor(), "halt");
+  EXPECT_EQ(g.arg(1).functor(), "halt");
+}
+
+TEST(Builtins, DistributeIndexOutOfRange) {
+  Interp i(Program::parse(
+      "go :- make_ports(1,Ports,_), make_tuple(Ports,DT), "
+      "distribute(2,x,DT)."),
+      small());
+  EXPECT_THROW(i.run(parse_term("go")), in::InterpError);
+}
+
+TEST(Builtins, NodesTotalReportsMachineSize) {
+  InterpOptions o;
+  o.nodes = 6;
+  o.workers = 2;
+  Interp i(Program::parse("go(N) :- nodes_total(N)."), o);
+  EXPECT_EQ(i.run_query("go(N)").first.arg(0).int_value(), 6);
+}
+
+TEST(Builtins, WorkAccumulatesVirtualCost) {
+  Interp i(Program::parse("go :- work(100), work(50)."), small());
+  auto r = i.run(parse_term("go"));
+  EXPECT_EQ(r.load.total_work, 150u);
+}
+
+TEST(Builtins, MessagesThroughPortCarryUnboundVariables) {
+  // The reply-variable pattern: a message contains an unbound variable
+  // that the receiver binds — how reduce(T,V) messages return values.
+  Interp i(Program::parse(
+      "go(R) :- make_ports(1,[P],[In]), make_tuple([P],DT), "
+      "serve(In), distribute(1,req(R),DT).\n"
+      "serve([req(V)|_]) :- V := answered."),
+      small());
+  EXPECT_EQ(i.run_query("go(R)").first.arg(0).functor(), "answered");
+}

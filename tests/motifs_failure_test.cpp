@@ -1,0 +1,144 @@
+// Failure injection: user-supplied code that throws must surface as an
+// exception from the motif's blocking call — never a hang, never a
+// silently wrong result. (DESIGN.md: failure-injection coverage.)
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "motifs/motifs.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+namespace {
+
+using IntTree = m::Tree<long, char>;
+
+IntTree::Ptr small_tree() {
+  return m::balanced_tree<long, char>(
+      32, [](std::size_t) { return 1L; }, '+');
+}
+
+struct Boom : std::runtime_error {
+  Boom() : std::runtime_error("boom") {}
+};
+
+long throwing_eval(const char&, const long& a, const long& b) {
+  if (a + b >= 8) throw Boom();
+  return a + b;
+}
+
+}  // namespace
+
+TEST(FailureInjection, TreeReduce1PropagatesEvalException) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_THROW(
+      (m::tree_reduce1<long, char>(mach, small_tree(), throwing_eval)),
+      Boom);
+}
+
+TEST(FailureInjection, TreeReduce2PropagatesEvalException) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_THROW(
+      (m::tree_reduce2<long, char>(mach, small_tree(), throwing_eval)),
+      Boom);
+}
+
+TEST(FailureInjection, StaticTreeReducePropagatesEvalException) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_THROW(
+      (m::static_tree_reduce<long, char>(mach, small_tree(), throwing_eval)),
+      Boom);
+}
+
+TEST(FailureInjection, MachineUsableAfterMotifFailure) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_THROW(
+      (m::tree_reduce1<long, char>(mach, small_tree(), throwing_eval)),
+      Boom);
+  // The machine delivered the error once and keeps working.
+  auto ok = [](const char&, const long& a, const long& b) { return a + b; };
+  EXPECT_EQ((m::tree_reduce1<long, char>(mach, small_tree(), ok)), 32);
+}
+
+TEST(FailureInjection, SchedulerPropagatesTaskException) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  m::Scheduler s(mach);
+  s.submit([] {});
+  s.submit([] { throw Boom(); });
+  s.submit([] {});
+  EXPECT_THROW(s.run(), Boom);
+}
+
+TEST(FailureInjection, ParallelForPropagatesBodyException) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_THROW(m::parallel_for(mach, 0, 100,
+                               [](std::size_t i) {
+                                 if (i == 57) throw Boom();
+                               }),
+               Boom);
+}
+
+TEST(FailureInjection, ParallelReducePropagatesBodyException) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_THROW(m::parallel_reduce<long>(
+                   mach, 0, 100, 0L,
+                   [](std::size_t i) -> long {
+                     if (i == 3) throw Boom();
+                     return 1;
+                   },
+                   [](long a, long b) { return a + b; }),
+               Boom);
+}
+
+TEST(FailureInjection, DivideAndConquerPropagates) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_THROW((m::divide_and_conquer<int, int>(
+                   mach, 10, [](const int& n) { return n < 2; },
+                   [](int n) -> int {
+                     if (n == 1) throw Boom();
+                     return n;
+                   },
+                   [](const int& n) {
+                     return std::vector<int>{n - 1, n - 2};
+                   },
+                   [](const int&, std::vector<int> rs) {
+                     return rs[0] + rs[1];
+                   })),
+               Boom);
+}
+
+TEST(FailureInjection, SearchPropagatesExpandException) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_THROW(m::count_solutions<int>(
+                   mach, 0,
+                   [](const int& s) -> std::vector<int> {
+                     if (s == 3) throw Boom();
+                     if (s >= 5) return {};
+                     return {s + 1, s + 2};
+                   },
+                   [](const int&) { return false; }, 2),
+               Boom);
+}
+
+TEST(FailureInjection, SampleSortPropagatesComparatorException) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  rt::Rng rng(1);
+  std::vector<int> data(5000);
+  for (auto& x : data) x = static_cast<int>(rng.below(1000));
+  int countdown = 4000;
+  auto bad_cmp = [&countdown](int a, int b) {
+    if (--countdown == 0) throw Boom();
+    return a < b;
+  };
+  EXPECT_THROW(m::parallel_sample_sort(mach, data, bad_cmp), Boom);
+}
+
+TEST(FailureInjection, ServerHandlerExceptionSurfacesOnWait) {
+  rt::Machine mach({.nodes = 2, .workers = 2});
+  m::ServerNetwork<int> net(mach, 2, [](auto&, int v) {
+    if (v == 3) throw Boom();
+  });
+  net.start(1, 3);
+  EXPECT_THROW(net.wait(), Boom);
+}

@@ -1,0 +1,63 @@
+#include "motifs/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+TEST(Scan, InclusiveSmall) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  std::vector<long> v{1, 2, 3, 4, 5};
+  m::parallel_inclusive_scan(mach, v, [](long a, long b) { return a + b; });
+  EXPECT_EQ(v, (std::vector<long>{1, 3, 6, 10, 15}));
+}
+
+TEST(Scan, EmptyAndSingleton) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  std::vector<long> e;
+  m::parallel_inclusive_scan(mach, e, [](long a, long b) { return a + b; });
+  EXPECT_TRUE(e.empty());
+  std::vector<long> s{7};
+  m::parallel_inclusive_scan(mach, s, [](long a, long b) { return a + b; });
+  EXPECT_EQ(s, (std::vector<long>{7}));
+}
+
+class ScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSizes, MatchesStdPartialSum) {
+  rt::Rng rng(GetParam());
+  std::vector<long> v(GetParam());
+  for (auto& x : v) x = static_cast<long>(rng.below(1000));
+  std::vector<long> expect(v.size());
+  std::partial_sum(v.begin(), v.end(), expect.begin());
+  rt::Machine mach({.nodes = 8, .workers = 2});
+  m::parallel_inclusive_scan(mach, v, [](long a, long b) { return a + b; });
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(2, 3, 7, 8, 9, 100, 1000, 65536));
+
+TEST(Scan, MaxScan) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  std::vector<int> v{3, 1, 4, 1, 5, 9, 2, 6};
+  m::parallel_inclusive_scan(mach, v,
+                             [](int a, int b) { return std::max(a, b); });
+  EXPECT_EQ(v, (std::vector<int>{3, 3, 4, 4, 5, 9, 9, 9}));
+}
+
+TEST(Scan, ExclusiveWithIdentity) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  auto out = m::parallel_exclusive_scan<long>(
+      mach, {1, 2, 3, 4}, 0, [](long a, long b) { return a + b; });
+  EXPECT_EQ(out, (std::vector<long>{0, 1, 3, 6}));
+}
+
+TEST(Scan, FewerElementsThanNodes) {
+  rt::Machine mach({.nodes = 16, .workers = 2});
+  std::vector<long> v{5, 6, 7};
+  m::parallel_inclusive_scan(mach, v, [](long a, long b) { return a + b; });
+  EXPECT_EQ(v, (std::vector<long>{5, 11, 18}));
+}

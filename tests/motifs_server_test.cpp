@@ -1,0 +1,155 @@
+#include "motifs/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <variant>
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+TEST(ServerNetwork, SingleMessageHandled) {
+  rt::Machine mach({.nodes = 2, .workers = 2});
+  std::atomic<int> seen{0};
+  m::ServerNetwork<int> net(mach, 2, [&](auto& ctx, int v) {
+    seen = v;
+    ctx.halt();
+  });
+  net.start(1, 42);
+  EXPECT_TRUE(net.wait());
+  EXPECT_EQ(seen.load(), 42);
+  EXPECT_EQ(net.messages_handled(), 1u);
+}
+
+TEST(ServerNetwork, TokenRingVisitsAllServers) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  std::atomic<int> hops{0};
+  m::ServerNetwork<int> net(mach, 4, [&](auto& ctx, int remaining) {
+    hops.fetch_add(1);
+    if (remaining == 0) {
+      ctx.halt();
+      return;
+    }
+    ctx.send(ctx.self() % ctx.nodes() + 1, remaining - 1);
+  });
+  net.start(1, 11);
+  EXPECT_TRUE(net.wait());
+  EXPECT_EQ(hops.load(), 12);
+}
+
+TEST(ServerNetwork, SelfReportsCorrectServer) {
+  rt::Machine mach({.nodes = 3, .workers = 2});
+  std::atomic<std::uint32_t> where{0};
+  m::ServerNetwork<int> net(mach, 3, [&](auto& ctx, int) {
+    where = ctx.self();
+    ctx.halt();
+  });
+  net.start(3, 0);
+  net.wait();
+  EXPECT_EQ(where.load(), 3u);
+}
+
+TEST(ServerNetwork, NodesReportsCount) {
+  rt::Machine mach({.nodes = 8, .workers = 2});
+  std::atomic<std::uint32_t> n{0};
+  m::ServerNetwork<int> net(mach, 5, [&](auto& ctx, int) {
+    n = ctx.nodes();
+    ctx.halt();
+  });
+  net.start(2, 0);
+  net.wait();
+  EXPECT_EQ(n.load(), 5u);
+}
+
+TEST(ServerNetwork, MessagesToSelfAreLegal) {
+  rt::Machine mach({.nodes = 2, .workers = 2});
+  std::atomic<int> count{0};
+  m::ServerNetwork<int> net(mach, 2, [&](auto& ctx, int k) {
+    count.fetch_add(1);
+    if (k > 0) {
+      ctx.send(ctx.self(), k - 1);
+    } else {
+      ctx.halt();
+    }
+  });
+  net.start(2, 5);
+  net.wait();
+  EXPECT_EQ(count.load(), 6);
+}
+
+TEST(ServerNetwork, HaltDropsPendingMessages) {
+  rt::Machine mach({.nodes = 2, .workers = 1});
+  std::atomic<int> handled{0};
+  m::ServerNetwork<int> net(mach, 2, [&](auto& ctx, int v) {
+    handled.fetch_add(1);
+    if (v == 0) {
+      // Flood the other server, then halt: the flood must be dropped.
+      for (int i = 0; i < 100; ++i) ctx.send(2, 1000 + i);
+      ctx.halt();
+    }
+  });
+  net.start(1, 0);
+  EXPECT_TRUE(net.wait());
+  EXPECT_EQ(handled.load(), 1);
+}
+
+TEST(ServerNetwork, FanOutFanIn) {
+  // Server 1 scatters work; others reply; server 1 halts after all ACKs.
+  struct Msg {
+    int kind;  // 0 = work, 1 = ack
+    int payload;
+  };
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  std::atomic<int> acks{0};
+  std::atomic<long> sum{0};
+  m::ServerNetwork<Msg> net(mach, 4, [&](auto& ctx, Msg msg) {
+    if (msg.kind == 0 && ctx.self() == 1) {
+      for (std::uint32_t s = 2; s <= ctx.nodes(); ++s) {
+        ctx.send(s, Msg{0, static_cast<int>(s) * 10});
+      }
+      return;
+    }
+    if (msg.kind == 0) {
+      ctx.send(1, Msg{1, msg.payload * 2});
+      return;
+    }
+    sum.fetch_add(msg.payload);
+    if (acks.fetch_add(1) + 1 == 3) ctx.halt();
+  });
+  net.start(1, Msg{0, 0});
+  EXPECT_TRUE(net.wait());
+  EXPECT_EQ(sum.load(), (20 + 30 + 40) * 2);
+}
+
+TEST(ServerNetwork, InvalidTargetsThrow) {
+  rt::Machine mach({.nodes = 2, .workers = 1});
+  m::ServerNetwork<int> net(mach, 2, [](auto&, int) {});
+  EXPECT_THROW(net.start(0, 1), std::out_of_range);
+  EXPECT_THROW(net.start(3, 1), std::out_of_range);
+  EXPECT_THROW((m::ServerNetwork<int>(mach, 5, [](auto&, int) {})),
+               std::invalid_argument);
+}
+
+TEST(ServerNetwork, WaitWithoutHaltReturnsFalse) {
+  rt::Machine mach({.nodes = 2, .workers = 1});
+  std::atomic<int> seen{0};
+  m::ServerNetwork<int> net(mach, 2, [&](auto&, int v) { seen = v; });
+  net.start(1, 7);
+  EXPECT_FALSE(net.wait());  // drained but never halted
+  EXPECT_EQ(seen.load(), 7);
+}
+
+TEST(ServerNetwork, PerServerHandlingIsSequential) {
+  rt::Machine mach({.nodes = 2, .workers = 4});
+  std::atomic<int> concurrent{0};
+  std::atomic<bool> overlap{false};
+  m::ServerNetwork<int> net(mach, 1, [&](auto&, int) {
+    if (concurrent.fetch_add(1) != 0) overlap = true;
+    for (int i = 0; i < 100; ++i) asm volatile("");
+    concurrent.fetch_sub(1);
+  });
+  for (int i = 0; i < 200; ++i) net.start(1, i);
+  net.wait();
+  EXPECT_FALSE(overlap.load());
+}

@@ -1,0 +1,213 @@
+// Sorting, grid and graph motifs (the paper's Section 4 motif areas).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "motifs/graph.hpp"
+#include "motifs/grid.hpp"
+#include "motifs/sort.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+
+namespace {
+std::vector<int> random_ints(std::uint64_t seed, std::size_t n) {
+  rt::Rng rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.below(1000000));
+  return v;
+}
+}  // namespace
+
+// ---- sort -------------------------------------------------------------------
+
+class SortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortSizes, MergeSortMatchesStdSort) {
+  auto data = random_ints(GetParam(), GetParam());
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  auto got = m::parallel_merge_sort(mach, data, 64);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(SortSizes, SampleSortMatchesStdSort) {
+  auto data = random_ints(GetParam() + 1, GetParam());
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  auto got = m::parallel_sample_sort(mach, data);
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSizes,
+                         ::testing::Values(0, 1, 2, 17, 100, 1000, 20000));
+
+TEST(Sort, AlreadySortedAndReversed) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  std::vector<int> asc(5000);
+  std::iota(asc.begin(), asc.end(), 0);
+  EXPECT_EQ(m::parallel_merge_sort(mach, asc, 128), asc);
+  std::vector<int> desc(asc.rbegin(), asc.rend());
+  EXPECT_EQ(m::parallel_merge_sort(mach, desc, 128), asc);
+}
+
+TEST(Sort, DuplicatesPreserved) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  std::vector<int> v(3000, 7);
+  v[100] = 3;
+  v[2000] = 9;
+  auto got = m::parallel_sample_sort(mach, v);
+  EXPECT_EQ(got.front(), 3);
+  EXPECT_EQ(got.back(), 9);
+  EXPECT_EQ(std::count(got.begin(), got.end(), 7), 2998);
+}
+
+TEST(Sort, CustomComparator) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  auto data = random_ints(5, 4000);
+  auto got = m::parallel_merge_sort(mach, data, 64, std::greater<int>());
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end(), std::greater<int>()));
+}
+
+// ---- grid -------------------------------------------------------------------
+
+TEST(Grid, SequentialSweepOracleSmall) {
+  m::Grid2D g(3, 3, 0.0);
+  g.at(0, 1) = 4.0;  // boundary heat
+  m::Grid2D out = g;
+  double delta = m::jacobi_sweep_seq(g, out);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(delta, 1.0);
+}
+
+TEST(Grid, ParallelMatchesSequentialSweepBySweep) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  m::Grid2D g(20, 16, 0.0);
+  for (std::size_t c = 0; c < 16; ++c) g.at(0, c) = 100.0;
+  m::Grid2D ref = g;
+
+  // Run 25 sweeps both ways.
+  m::Grid2D tmp = ref;
+  for (int k = 0; k < 25; ++k) {
+    m::jacobi_sweep_seq(ref, tmp);
+    std::swap(ref, tmp);
+  }
+  m::JacobiOptions opts;
+  opts.max_iters = 25;
+  opts.tolerance = 0.0;  // force exactly max_iters sweeps
+  m::jacobi_solve(mach, g, opts);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      EXPECT_NEAR(g.at(r, c), ref.at(r, c), 1e-12) << r << "," << c;
+    }
+  }
+}
+
+TEST(Grid, ConvergesToLinearProfile) {
+  // 1-D-like strip: top row 1, bottom row 0 -> linear gradient.
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  m::Grid2D g(17, 64, 0.0);
+  for (std::size_t c = 0; c < 64; ++c) g.at(0, c) = 1.0;
+  m::JacobiOptions opts;
+  opts.max_iters = 20000;
+  opts.tolerance = 1e-10;
+  auto res = m::jacobi_solve(mach, g, opts);
+  EXPECT_TRUE(res.converged);
+  // Interior forms a roughly linear profile in r (columns far from the
+  // lateral boundary, which is held at 0, dip; check the middle column
+  // decreases monotonically).
+  for (std::size_t r = 1; r < 16; ++r) {
+    EXPECT_LT(g.at(r, 32), g.at(r - 1, 32));
+  }
+}
+
+TEST(Grid, TinyGridTrivial) {
+  rt::Machine mach({.nodes = 2, .workers = 1});
+  m::Grid2D g(2, 2, 5.0);
+  auto res = m::jacobi_solve(mach, g);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+}
+
+TEST(Grid, MoreBlocksThanRowsIsSafe) {
+  rt::Machine mach({.nodes = 16, .workers = 2});
+  m::Grid2D g(4, 8, 0.0);  // 2 interior rows, 16 nodes
+  for (std::size_t c = 0; c < 8; ++c) g.at(0, c) = 8.0;
+  m::JacobiOptions opts;
+  opts.max_iters = 100;
+  auto res = m::jacobi_solve(mach, g, opts);
+  EXPECT_TRUE(res.converged);
+}
+
+// ---- graph ------------------------------------------------------------------
+
+TEST(Graph, FromEdgesDegreesAndNeighbors) {
+  auto g = m::Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 8u);  // undirected: both directions
+  EXPECT_EQ(g.degree(0), 2u);
+  std::vector<std::uint32_t> n0(g.neighbors_begin(0), g.neighbors_end(0));
+  std::sort(n0.begin(), n0.end());
+  EXPECT_EQ(n0, (std::vector<std::uint32_t>{1, 3}));
+}
+
+TEST(Graph, BfsSequentialOnPath) {
+  auto g = m::Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto d = m::bfs_sequential(g, 0);
+  EXPECT_EQ(d, (std::vector<std::int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Graph, ParallelBfsMatchesSequentialOnRandomGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    rt::Rng rng(seed);
+    auto g = m::Graph::random_gnp(400, 0.01, rng);
+    rt::Machine mach({.nodes = 8, .workers = 2});
+    auto seq = m::bfs_sequential(g, 0);
+    auto par = m::parallel_bfs(mach, g, 0);
+    EXPECT_EQ(par, seq) << "seed " << seed;
+  }
+}
+
+TEST(Graph, ParallelBfsOnRing) {
+  rt::Rng rng(7);
+  auto g = m::Graph::ring_with_chords(64, 0, rng);
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  auto d = m::parallel_bfs(mach, g, 0);
+  EXPECT_EQ(d[32], 32);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[63], 1);
+}
+
+TEST(Graph, DisconnectedVerticesUnreached) {
+  auto g = m::Graph::from_edges(5, {{0, 1}});
+  rt::Machine mach({.nodes = 2, .workers = 1});
+  auto d = m::parallel_bfs(mach, g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], m::kUnreached);
+  EXPECT_EQ(d[4], m::kUnreached);
+}
+
+TEST(Graph, ConnectedComponents) {
+  auto g = m::Graph::from_edges(
+      7, {{0, 1}, {1, 2}, {3, 4}, {5, 6}});
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  auto comp = m::connected_components(mach, g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_EQ(comp[5], comp[6]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[5]);
+  EXPECT_NE(comp[0], comp[5]);
+}
+
+TEST(Graph, GnpEdgeCountRoughlyExpected) {
+  rt::Rng rng(11);
+  auto g = m::Graph::random_gnp(1000, 0.01, rng);
+  const double expect = 0.01 * 1000 * 999 / 2;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()) / 2, expect,
+              expect * 0.15);
+}

@@ -1,0 +1,233 @@
+// Correctness of the three parallel tree-reduction schedules against the
+// sequential oracle, including parameterized property sweeps over random
+// trees, plus the structural claims of Sections 3.4/3.5 (message
+// locality, bounded concurrent evaluations).
+#include "motifs/tree_reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "motifs/tree.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+using IntTree = m::Tree<long, char>;
+
+namespace {
+
+long eval_arith(const char& op, const long& a, const long& b) {
+  return op == '+' ? a + b : a * b;
+}
+
+IntTree::Ptr paper_tree() {
+  return IntTree::node(
+      '*', IntTree::node('*', IntTree::leaf(3), IntTree::leaf(2)),
+      IntTree::node('+', IntTree::leaf(3), IntTree::leaf(1)));
+}
+
+IntTree::Ptr random_sum_tree(std::uint64_t seed, std::size_t leaves) {
+  rt::Rng rng(seed);
+  return m::random_tree<long, char>(
+      rng, leaves, [](rt::Rng& r) { return long(r.below(100)); },
+      [](rt::Rng&) { return '+'; });
+}
+
+}  // namespace
+
+TEST(TreeReduce1, PaperTreeIs24) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_EQ((m::tree_reduce1<long, char>(mach, paper_tree(), eval_arith)),
+            24);
+}
+
+TEST(TreeReduce1, SingleLeaf) {
+  rt::Machine mach({.nodes = 2, .workers = 2});
+  EXPECT_EQ((m::tree_reduce1<long, char>(mach, IntTree::leaf(9), eval_arith)),
+            9);
+}
+
+TEST(TreeReduce1, NonCommutativeOrderPreserved) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  auto t = IntTree::node(
+      '-', IntTree::node('-', IntTree::leaf(10), IntTree::leaf(4)),
+      IntTree::leaf(1));
+  auto sub = [](const char&, const long& a, const long& b) { return a - b; };
+  EXPECT_EQ((m::tree_reduce1<long, char>(mach, t, sub)), 5);
+}
+
+TEST(TreeReduce1, ShipsWorkToOtherNodes) {
+  rt::Machine mach({.nodes = 8, .workers = 2});
+  auto t = random_sum_tree(3, 256);
+  long expect = m::reduce_sequential<long, char>(t, eval_arith);
+  EXPECT_EQ((m::tree_reduce1<long, char>(mach, t, eval_arith)), expect);
+  EXPECT_GT(mach.load_summary().remote_msgs, 0u);
+}
+
+TEST(TreeReduce1, RoundRobinPolicyAlsoCorrect) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  auto t = random_sum_tree(5, 100);
+  long expect = m::reduce_sequential<long, char>(t, eval_arith);
+  EXPECT_EQ((m::tree_reduce1<long, char>(mach, t, eval_arith,
+                                         m::MapPolicy::RoundRobin)),
+            expect);
+}
+
+TEST(TreeReduce2, PaperTreeIs24) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_EQ((m::tree_reduce2<long, char>(mach, paper_tree(), eval_arith)),
+            24);
+}
+
+TEST(TreeReduce2, SingleLeafShortCircuits) {
+  rt::Machine mach({.nodes = 2, .workers = 2});
+  EXPECT_EQ((m::tree_reduce2<long, char>(mach, IntTree::leaf(5), eval_arith)),
+            5);
+}
+
+TEST(TreeReduce2, NonCommutativeOrderPreserved) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  auto t = IntTree::node(
+      '-', IntTree::node('-', IntTree::leaf(10), IntTree::leaf(4)),
+      IntTree::leaf(1));
+  auto sub = [](const char&, const long& a, const long& b) { return a - b; };
+  EXPECT_EQ((m::tree_reduce2<long, char>(mach, t, sub)), 5);
+}
+
+TEST(TreeReduce2, AtMostOneRemoteValuePerNode) {
+  // Section 3.5: "an interprocessor communication is required for at most
+  // one of each node's offspring values". Internal nodes receive exactly
+  // two values; with the labelling, remote deliveries <= internal nodes.
+  rt::Machine mach({.nodes = 8, .workers = 2});
+  auto t = random_sum_tree(11, 512);
+  m::TR2Stats stats;
+  m::tree_reduce2<long, char>(mach, t, eval_arith, &stats);
+  const std::uint64_t internal = t->node_count() - t->leaf_count();
+  EXPECT_EQ(stats.local_values + stats.remote_values, 2 * internal);
+  EXPECT_LE(stats.remote_values, internal);
+}
+
+TEST(TreeReduce2, SpineTreeMessagesAllLocalOnLeftSpine) {
+  // On a left spine every internal node's left child shares its label, so
+  // at least half of all deliveries are local.
+  rt::Machine mach({.nodes = 8, .workers = 2});
+  auto t = m::spine_tree<long, char>(
+      2000, [](std::size_t) { return 1L; }, '+');
+  m::TR2Stats stats;
+  EXPECT_EQ((m::tree_reduce2<long, char>(mach, t, eval_arith, &stats)), 2000);
+  EXPECT_GE(stats.local_values, stats.remote_values);
+}
+
+TEST(TreeReduce2, IndependentRandomLabelsStillCorrectButChattier) {
+  // The ablation of DESIGN.md section 5: dropping the paper's labelling
+  // rule keeps the answer but loses the locality guarantee.
+  auto t = random_sum_tree(13, 600);
+  const long expect = m::reduce_sequential<long, char>(t, eval_arith);
+  rt::Machine m1({.nodes = 8, .workers = 2});
+  m::TR2Stats paper;
+  EXPECT_EQ((m::tree_reduce2<long, char>(m1, t, eval_arith, &paper)), expect);
+  rt::Machine m2({.nodes = 8, .workers = 2});
+  m::TR2Stats rnd;
+  EXPECT_EQ((m::tree_reduce2<long, char>(m2, t, eval_arith, &rnd,
+                                         m::LabelPolicy::IndependentRandom)),
+            expect);
+  EXPECT_GT(rnd.remote_values, paper.remote_values);
+}
+
+TEST(StaticTreeReduce, PaperTreeIs24) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_EQ(
+      (m::static_tree_reduce<long, char>(mach, paper_tree(), eval_arith)),
+      24);
+}
+
+TEST(StaticTreeReduce, UsesMultipleNodes) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  auto t = m::balanced_tree<long, char>(
+      256, [](std::size_t) { return 1L; }, '+');
+  EXPECT_EQ((m::static_tree_reduce<long, char>(mach, t, eval_arith)), 256);
+  auto s = mach.load_summary();
+  EXPECT_GT(s.total_tasks, 3u);
+}
+
+// ---- property sweeps (TEST_P) ---------------------------------------------
+
+struct Shape {
+  std::uint64_t seed;
+  std::size_t leaves;
+  std::uint32_t nodes;
+};
+
+class AllSchedulesAgree : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(AllSchedulesAgree, MatchSequentialOracle) {
+  const Shape s = GetParam();
+  rt::Rng rng(s.seed);
+  // '+'/max keeps values bounded (no signed overflow) while staying
+  // non-trivially mixed.
+  auto safe_eval = [](const char& op, const long& a, const long& b) {
+    return op == '+' ? a + b : std::max(a, b);
+  };
+  auto t = m::random_tree<long, char>(
+      rng, s.leaves, [](rt::Rng& r) { return long(r.below(7) + 1); },
+      [](rt::Rng& r) { return r.bernoulli(0.8) ? '+' : 'M'; });
+  const long expect = m::reduce_sequential<long, char>(t, safe_eval);
+  rt::Machine m1({.nodes = s.nodes, .workers = 2, .batch = 64,
+                  .seed = s.seed});
+  EXPECT_EQ((m::tree_reduce1<long, char>(m1, t, safe_eval)), expect);
+  rt::Machine m2({.nodes = s.nodes, .workers = 2, .batch = 64,
+                  .seed = s.seed});
+  EXPECT_EQ((m::tree_reduce2<long, char>(m2, t, safe_eval)), expect);
+  rt::Machine m3({.nodes = s.nodes, .workers = 2, .batch = 64,
+                  .seed = s.seed});
+  EXPECT_EQ((m::static_tree_reduce<long, char>(m3, t, safe_eval)), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTrees, AllSchedulesAgree,
+    ::testing::Values(Shape{1, 1, 2}, Shape{2, 2, 2}, Shape{3, 3, 4},
+                      Shape{4, 10, 4}, Shape{5, 33, 3}, Shape{6, 100, 8},
+                      Shape{7, 255, 8}, Shape{8, 512, 16}, Shape{9, 63, 1},
+                      Shape{10, 1000, 5}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_leaves" +
+             std::to_string(info.param.leaves) + "_nodes" +
+             std::to_string(info.param.nodes);
+    });
+
+class SpineShapes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpineShapes, DeepSpinesReduceEverywhere) {
+  const std::size_t leaves = GetParam();
+  auto t = m::spine_tree<long, char>(
+      leaves, [](std::size_t) { return 1L; }, '+');
+  rt::Machine m1({.nodes = 4, .workers = 2});
+  EXPECT_EQ((m::tree_reduce1<long, char>(m1, t, eval_arith)),
+            static_cast<long>(leaves));
+  rt::Machine m2({.nodes = 4, .workers = 2});
+  EXPECT_EQ((m::tree_reduce2<long, char>(m2, t, eval_arith)),
+            static_cast<long>(leaves));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, SpineShapes,
+                         ::testing::Values(2, 64, 1024, 20000));
+
+TEST(TreeReduceMemory, TR2BoundsConcurrentEvaluations) {
+  // Section 3.5's claim, measured: with a slow eval on few processors,
+  // TR1 admits multiple live evaluations per processor while TR2 keeps at
+  // most one active evaluation per processor.
+  auto slow_eval = [](const char&, const long& a, const long& b) {
+    for (int i = 0; i < 2000; ++i) asm volatile("");
+    return a + b;
+  };
+  auto t = m::balanced_tree<long, char>(
+      256, [](std::size_t) { return 1L; }, '+');
+  rt::active_evals().reset();
+  {
+    rt::Machine mach({.nodes = 2, .workers = 2});
+    EXPECT_EQ((m::tree_reduce2<long, char>(mach, t, slow_eval)), 256);
+  }
+  // TR2: one eval at a time per node; 2 nodes -> peak <= 2.
+  EXPECT_LE(rt::active_evals().peak(), 2);
+}

@@ -1,0 +1,113 @@
+// Wavefront motif: dependency correctness, tiling edge cases, and the
+// Needleman-Wunsch kernel expressed as a wavefront client.
+#include "motifs/wavefront.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "align/nw.hpp"
+#include "align/sequence.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+namespace al = motif::align;
+
+TEST(Wavefront, ComputesPascalTriangle) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  constexpr std::size_t N = 20;
+  std::vector<std::uint64_t> grid(N * N, 0);
+  m::wavefront(mach, N, N, [&](std::size_t i, std::size_t j) {
+    if (i == 0 || j == 0) {
+      grid[i * N + j] = 1;
+    } else {
+      grid[i * N + j] = grid[(i - 1) * N + j] + grid[i * N + (j - 1)];
+    }
+  });
+  // grid[i][j] = C(i+j, i).
+  EXPECT_EQ(grid[1 * N + 1], 2u);
+  EXPECT_EQ(grid[2 * N + 2], 6u);
+  EXPECT_EQ(grid[3 * N + 3], 20u);
+  EXPECT_EQ(grid[5 * N + 5], 252u);
+}
+
+TEST(Wavefront, EveryCellExactlyOnce) {
+  rt::Machine mach({.nodes = 8, .workers = 2});
+  constexpr std::size_t R = 37, C = 53;  // deliberately non-tile-aligned
+  std::vector<std::atomic<int>> hits(R * C);
+  m::wavefront(
+      mach, R, C,
+      [&](std::size_t i, std::size_t j) { hits[i * C + j].fetch_add(1); },
+      /*tile=*/8);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Wavefront, DependenciesRespected) {
+  rt::Machine mach({.nodes = 8, .workers = 2});
+  constexpr std::size_t N = 24;
+  std::vector<std::atomic<int>> doneflag(N * N);
+  std::atomic<bool> violated{false};
+  m::wavefront(
+      mach, N, N,
+      [&](std::size_t i, std::size_t j) {
+        if (i > 0 && doneflag[(i - 1) * N + j].load() == 0) violated = true;
+        if (j > 0 && doneflag[i * N + (j - 1)].load() == 0) violated = true;
+        doneflag[i * N + j].store(1);
+      },
+      /*tile=*/4);
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Wavefront, DegenerateShapes) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  int count = 0;
+  m::wavefront(mach, 1, 1, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+  count = 0;
+  m::wavefront(mach, 1, 100,
+               [&](std::size_t, std::size_t) { ++count; }, 16);
+  EXPECT_EQ(count, 100);
+  count = 0;
+  m::wavefront(mach, 100, 1,
+               [&](std::size_t, std::size_t) { ++count; }, 16);
+  EXPECT_EQ(count, 100);
+  m::wavefront(mach, 0, 50, [&](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(Wavefront, BodyExceptionPropagates) {
+  rt::Machine mach({.nodes = 4, .workers = 2});
+  EXPECT_THROW(m::wavefront(mach, 16, 16,
+                            [&](std::size_t i, std::size_t j) {
+                              if (i == 7 && j == 9) {
+                                throw std::runtime_error("dp");
+                              }
+                            },
+                            4),
+               std::runtime_error);
+}
+
+TEST(WavefrontNW, MatchesSequentialScore) {
+  rt::Machine mach({.nodes = 8, .workers = 2});
+  rt::Rng rng(77);
+  for (int round = 0; round < 5; ++round) {
+    auto a = al::random_sequence(rng, 60 + rng.below(120));
+    auto b = al::evolve(a, 5.0, {}, rng);
+    EXPECT_EQ(al::nw_score_wavefront(mach, a, b), al::nw_score(a, b))
+        << round;
+  }
+}
+
+TEST(WavefrontNW, EmptySequences) {
+  rt::Machine mach({.nodes = 2, .workers = 2});
+  EXPECT_EQ(al::nw_score_wavefront(mach, "", "ACG"), -6);
+  EXPECT_EQ(al::nw_score_wavefront(mach, "ACG", ""), -6);
+  EXPECT_EQ(al::nw_score_wavefront(mach, "", ""), 0);
+}
+
+TEST(WavefrontNW, IdenticalLongSequences) {
+  rt::Machine mach({.nodes = 8, .workers = 2});
+  rt::Rng rng(5);
+  auto a = al::random_sequence(rng, 500);
+  EXPECT_EQ(al::nw_score_wavefront(mach, a, a),
+            static_cast<std::int32_t>(a.size()) * 2);
+}

@@ -1,0 +1,133 @@
+#include "runtime/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace rt = motif::rt;
+
+TEST(Channel, PushPopFifo) {
+  rt::Channel<int> ch;
+  ch.push(1);
+  ch.push(2);
+  ch.push(3);
+  EXPECT_EQ(ch.pop().value(), 1);
+  EXPECT_EQ(ch.pop().value(), 2);
+  EXPECT_EQ(ch.pop().value(), 3);
+}
+
+TEST(Channel, TryPopEmpty) {
+  rt::Channel<int> ch;
+  EXPECT_FALSE(ch.try_pop().has_value());
+}
+
+TEST(Channel, CloseDrainsThenEnds) {
+  rt::Channel<int> ch;
+  ch.push(7);
+  ch.close();
+  EXPECT_FALSE(ch.push(8));
+  EXPECT_EQ(ch.pop().value(), 7);
+  EXPECT_FALSE(ch.pop().has_value());
+  EXPECT_FALSE(ch.pop().has_value());  // stays ended
+}
+
+TEST(Channel, CloseIsIdempotent) {
+  rt::Channel<int> ch;
+  ch.close();
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, BoundedTryPushFull) {
+  rt::Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_push(1));
+  EXPECT_TRUE(ch.try_push(2));
+  EXPECT_FALSE(ch.try_push(3));
+  ch.pop();
+  EXPECT_TRUE(ch.try_push(3));
+}
+
+TEST(Channel, BoundedPushBlocksUntilSpace) {
+  rt::Channel<int> ch(1);
+  ch.push(1);
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    ch.push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(ch.pop().value(), 1);
+  t.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(ch.pop().value(), 2);
+}
+
+TEST(Channel, PopBlocksUntilPush) {
+  rt::Channel<int> ch;
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.push(99);
+  });
+  EXPECT_EQ(ch.pop().value(), 99);
+  t.join();
+}
+
+TEST(Channel, CloseWakesBlockedPoppers) {
+  rt::Channel<int> ch;
+  std::atomic<int> ended{0};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 4; ++i) {
+    ts.emplace_back([&] {
+      if (!ch.pop().has_value()) ended.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(ended.load(), 4);
+}
+
+TEST(Channel, CloseWakesBlockedPushers) {
+  rt::Channel<int> ch(1);
+  ch.push(1);
+  std::atomic<int> failed{0};
+  std::thread t([&] {
+    if (!ch.push(2)) failed.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  t.join();
+  EXPECT_EQ(failed.load(), 1);
+}
+
+TEST(Channel, MpmcAllItemsDeliveredOnce) {
+  constexpr int kProducers = 4, kConsumers = 4, kEach = 5000;
+  rt::Channel<int> ch(64);
+  std::vector<std::thread> ps, cs;
+  std::mutex got_m;
+  std::multiset<int> got;
+  for (int c = 0; c < kConsumers; ++c) {
+    cs.emplace_back([&] {
+      while (auto v = ch.pop()) {
+        std::lock_guard l(got_m);
+        got.insert(*v);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    ps.emplace_back([&, p] {
+      for (int i = 0; i < kEach; ++i) ch.push(p * kEach + i);
+    });
+  }
+  for (auto& t : ps) t.join();
+  ch.close();
+  for (auto& t : cs) t.join();
+  ASSERT_EQ(got.size(), size_t(kProducers * kEach));
+  std::set<int> uniq(got.begin(), got.end());
+  EXPECT_EQ(uniq.size(), got.size());
+}

@@ -1,0 +1,117 @@
+#include "runtime/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace rt = motif::rt;
+
+TEST(Rng, DeterministicForSeed) {
+  rt::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rt::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsNotStuck) {
+  rt::Rng r(0);
+  EXPECT_NE(r.next(), r.next());
+}
+
+TEST(Rng, BelowIsInRange) {
+  rt::Rng r(7);
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(n), n);
+  }
+}
+
+TEST(Rng, BelowOneIsZero) {
+  rt::Rng r(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  rt::Rng r(123);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::array<int, kBuckets> hist{};
+  for (int i = 0; i < kSamples; ++i) ++hist[r.below(kBuckets)];
+  const double expected = double(kSamples) / kBuckets;
+  for (int c : hist) {
+    EXPECT_NEAR(c, expected, expected * 0.08);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  rt::Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  rt::Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  rt::Rng r(13);
+  double sum = 0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  rt::Rng r(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.pareto(3.0, 1.5), 3.0);
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  // For alpha=1.1 the sample max over 50k draws should dwarf the median.
+  rt::Rng r(19);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = r.pareto(1.0, 1.1);
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  const double median = xs[xs.size() / 2];
+  const double mx = *std::max_element(xs.begin(), xs.end());
+  EXPECT_GT(mx, 100 * median);
+}
+
+TEST(Rng, BernoulliProbability) {
+  rt::Rng r(23);
+  int hits = 0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Splitmix, KnownStable) {
+  std::uint64_t x = 0;
+  auto a = rt::splitmix64(x);
+  auto b = rt::splitmix64(x);
+  EXPECT_NE(a, b);
+  std::uint64_t y = 0;
+  EXPECT_EQ(rt::splitmix64(y), a);
+}

@@ -1,0 +1,122 @@
+#include "runtime/termination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace rt = motif::rt;
+
+TEST(ShortCircuit, RootCloseCompletes) {
+  rt::ShortCircuit sc;
+  auto link = sc.root();
+  EXPECT_FALSE(sc.done());
+  link.close();
+  EXPECT_TRUE(sc.done());
+}
+
+TEST(ShortCircuit, ForkKeepsOpenUntilAllClose) {
+  rt::ShortCircuit sc;
+  auto a = sc.root();
+  auto b = a.fork();
+  auto c = b.fork();
+  a.close();
+  EXPECT_FALSE(sc.done());
+  b.close();
+  EXPECT_FALSE(sc.done());
+  c.close();
+  EXPECT_TRUE(sc.done());
+}
+
+TEST(ShortCircuit, DroppedLinkClosesItself) {
+  rt::ShortCircuit sc;
+  {
+    auto a = sc.root();
+    auto b = a.fork();
+    a.close();
+    // b destroyed open at scope exit
+  }
+  EXPECT_TRUE(sc.done());
+}
+
+TEST(ShortCircuit, CloseIsIdempotentViaEmptyLink) {
+  rt::ShortCircuit sc;
+  auto a = sc.root();
+  a.close();
+  a.close();  // already empty; no effect
+  EXPECT_TRUE(sc.done());
+}
+
+TEST(ShortCircuit, MoveTransfersOwnership) {
+  rt::ShortCircuit sc;
+  auto a = sc.root();
+  rt::ShortCircuit::Link b = std::move(a);
+  EXPECT_FALSE(a.open());
+  EXPECT_TRUE(b.open());
+  b.close();
+  EXPECT_TRUE(sc.done());
+}
+
+TEST(ShortCircuit, MoveAssignClosesPrevious) {
+  rt::ShortCircuit s1, s2;
+  auto a = s1.root();
+  auto b = s2.root();
+  a = std::move(b);  // closes s1's segment
+  EXPECT_TRUE(s1.done());
+  EXPECT_FALSE(s2.done());
+  a.close();
+  EXPECT_TRUE(s2.done());
+}
+
+TEST(ShortCircuit, WhenDoneInlineIfAlreadyDone) {
+  rt::ShortCircuit sc;
+  sc.root().close();
+  int fired = 0;
+  sc.when_done([&] { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ShortCircuit, WhenDoneDeferred) {
+  rt::ShortCircuit sc;
+  auto a = sc.root();
+  int fired = 0;
+  sc.when_done([&] { ++fired; });
+  EXPECT_EQ(fired, 0);
+  a.close();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ShortCircuit, WaitBlocksUntilDone) {
+  rt::ShortCircuit sc;
+  auto a = sc.root();
+  std::thread t([link = std::move(a)]() mutable {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    link.close();
+  });
+  sc.wait();
+  EXPECT_TRUE(sc.done());
+  t.join();
+}
+
+TEST(ShortCircuit, StressManyConcurrentForks) {
+  // Models a divide-and-conquer tree threading the circuit through every
+  // spawned process.
+  rt::ShortCircuit sc;
+  constexpr int kThreads = 8, kForksEach = 2000;
+  std::vector<std::thread> ts;
+  auto root = sc.root();
+  std::vector<rt::ShortCircuit::Link> seeds;
+  for (int i = 0; i < kThreads; ++i) seeds.push_back(root.fork());
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([seed = std::move(seeds[i])]() mutable {
+      std::vector<rt::ShortCircuit::Link> mine;
+      for (int j = 0; j < kForksEach; ++j) mine.push_back(seed.fork());
+      seed.close();
+      for (auto& l : mine) l.close();
+    });
+  }
+  root.close();
+  for (auto& t : ts) t.join();
+  EXPECT_TRUE(sc.done());
+}

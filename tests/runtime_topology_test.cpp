@@ -1,0 +1,106 @@
+// Interconnect topologies: hop-distance math and message-hop accounting.
+#include <gtest/gtest.h>
+
+#include "runtime/machine.hpp"
+
+namespace rt = motif::rt;
+using rt::Machine;
+using rt::Topology;
+
+TEST(Topology, CompleteIsAlwaysOneHop) {
+  Machine m({.nodes = 8, .workers = 1, .batch = 64, .seed = 1,
+             .topology = Topology::Complete});
+  for (rt::NodeId a = 0; a < 8; ++a) {
+    for (rt::NodeId b = 0; b < 8; ++b) {
+      EXPECT_EQ(m.hop_distance(a, b), a == b ? 0u : 1u);
+    }
+  }
+}
+
+TEST(Topology, RingDistanceWrapsAround) {
+  Machine m({.nodes = 8, .workers = 1, .batch = 64, .seed = 1,
+             .topology = Topology::Ring});
+  EXPECT_EQ(m.hop_distance(0, 1), 1u);
+  EXPECT_EQ(m.hop_distance(0, 4), 4u);
+  EXPECT_EQ(m.hop_distance(0, 7), 1u);  // shorter the other way
+  EXPECT_EQ(m.hop_distance(2, 6), 4u);
+  EXPECT_EQ(m.hop_distance(6, 2), 4u);
+  EXPECT_EQ(m.hop_distance(3, 3), 0u);
+}
+
+TEST(Topology, MeshManhattanDistance) {
+  // 16 nodes -> 4x4 grid, row-major.
+  Machine m({.nodes = 16, .workers = 1, .batch = 64, .seed = 1,
+             .topology = Topology::Mesh2D});
+  EXPECT_EQ(m.hop_distance(0, 1), 1u);    // (0,0)->(0,1)
+  EXPECT_EQ(m.hop_distance(0, 4), 1u);    // (0,0)->(1,0)
+  EXPECT_EQ(m.hop_distance(0, 5), 2u);    // (0,0)->(1,1)
+  EXPECT_EQ(m.hop_distance(0, 15), 6u);   // (0,0)->(3,3)
+  EXPECT_EQ(m.hop_distance(3, 12), 6u);   // (0,3)->(3,0)
+}
+
+TEST(Topology, MeshHandlesNonSquareCounts) {
+  // 6 nodes -> 3 columns (ceil(sqrt(6))=3): grid rows 0..1.
+  Machine m({.nodes = 6, .workers = 1, .batch = 64, .seed = 1,
+             .topology = Topology::Mesh2D});
+  EXPECT_EQ(m.hop_distance(0, 5), 3u);  // (0,0)->(1,2)
+  EXPECT_EQ(m.hop_distance(2, 3), 3u);  // (0,2)->(1,0)
+}
+
+TEST(Topology, HypercubeHammingDistance) {
+  Machine m({.nodes = 16, .workers = 1, .batch = 64, .seed = 1,
+             .topology = Topology::Hypercube});
+  EXPECT_EQ(m.hop_distance(0, 1), 1u);
+  EXPECT_EQ(m.hop_distance(0, 3), 2u);
+  EXPECT_EQ(m.hop_distance(0, 15), 4u);
+  EXPECT_EQ(m.hop_distance(5, 10), 4u);  // 0101 vs 1010
+  EXPECT_EQ(m.hop_distance(7, 7), 0u);
+}
+
+TEST(Topology, SymmetryAndTriangleInequality) {
+  for (Topology t : {Topology::Complete, Topology::Ring, Topology::Mesh2D,
+                     Topology::Hypercube}) {
+    Machine m({.nodes = 16, .workers = 1, .batch = 64, .seed = 1,
+               .topology = t});
+    for (rt::NodeId a = 0; a < 16; ++a) {
+      for (rt::NodeId b = 0; b < 16; ++b) {
+        EXPECT_EQ(m.hop_distance(a, b), m.hop_distance(b, a));
+        for (rt::NodeId c = 0; c < 16; ++c) {
+          EXPECT_LE(m.hop_distance(a, c),
+                    m.hop_distance(a, b) + m.hop_distance(b, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(Topology, HopsAccumulateInCounters) {
+  Machine m({.nodes = 8, .workers = 1, .batch = 64, .seed = 1,
+             .topology = Topology::Ring});
+  m.post(0, [&m] {
+    m.post(4, [] {});  // 4 hops on the ring
+    m.post(1, [] {});  // 1 hop
+    m.post(0, [] {});  // local: no hops
+  });
+  m.wait_idle();
+  EXPECT_EQ(m.counters(0).hops.load(), 5u);
+  auto s = m.load_summary();
+  EXPECT_EQ(s.total_hops, 5u);
+  EXPECT_EQ(s.remote_msgs, 2u);
+  EXPECT_DOUBLE_EQ(s.hops_per_remote, 2.5);
+}
+
+TEST(Topology, CompleteHopsEqualRemoteMessages) {
+  Machine m({.nodes = 4, .workers = 2});
+  m.post(0, [&m] {
+    for (int i = 0; i < 10; ++i) m.post((i % 3) + 1, [] {});
+  });
+  m.wait_idle();
+  auto s = m.load_summary();
+  EXPECT_EQ(s.total_hops, s.remote_msgs);
+}
+
+TEST(Topology, DefaultIsComplete) {
+  Machine m({.nodes = 4, .workers = 1});
+  EXPECT_EQ(m.topology(), Topology::Complete);
+}

@@ -1,0 +1,155 @@
+// Property fuzzing of the term layer: randomly generated terms and
+// clauses survive format -> parse -> format round trips (alpha-equal), and
+// the transformation pipeline never produces unparseable output.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/rng.hpp"
+#include "term/parser.hpp"
+#include "term/program.hpp"
+#include "term/subst.hpp"
+#include "term/writer.hpp"
+#include "transform/motif.hpp"
+#include "transform/rand.hpp"
+#include "transform/server.hpp"
+#include "transform/terminate.hpp"
+
+namespace t = motif::term;
+namespace rt = motif::rt;
+namespace tf = motif::transform;
+using t::Term;
+
+namespace {
+
+/// Random term generator covering every Tag and printer edge case
+/// (quoted atoms, negative numbers, improper lists, nested tuples).
+Term random_term(rt::Rng& rng, int depth, std::vector<Term>& vars) {
+  const int kind = static_cast<int>(rng.below(depth <= 0 ? 6 : 9));
+  switch (kind) {
+    case 0:
+      return Term::integer(rng.range(-1000, 1000));
+    case 1:
+      return Term::real(static_cast<double>(rng.range(-50, 50)) + 0.5);
+    case 2: {
+      static const char* kAtoms[] = {"a",  "foo", "Bar atom", "+",
+                                     "[]", "don't", "x1_y"};
+      return Term::atom(kAtoms[rng.below(7)]);
+    }
+    case 3:
+      return Term::str(rng.bernoulli(0.5) ? "plain" : "q\"uo\\te");
+    case 4: {
+      // Reuse a variable sometimes (sharing), else make a fresh one.
+      if (!vars.empty() && rng.bernoulli(0.5)) {
+        return vars[rng.below(vars.size())];
+      }
+      Term v = Term::var("V" + std::to_string(vars.size()));
+      vars.push_back(v);
+      return v;
+    }
+    case 5:
+      return Term::nil();
+    case 6: {  // list, possibly improper
+      std::vector<Term> items;
+      const std::size_t n = 1 + rng.below(3);
+      for (std::size_t i = 0; i < n; ++i) {
+        items.push_back(random_term(rng, depth - 1, vars));
+      }
+      Term tail = Term::nil();
+      if (rng.bernoulli(0.3)) {
+        Term v = Term::var("T" + std::to_string(vars.size()));
+        vars.push_back(v);
+        tail = v;
+      }
+      return Term::list(std::move(items), tail);
+    }
+    case 7: {  // tuple
+      std::vector<Term> items;
+      const std::size_t n = rng.below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        items.push_back(random_term(rng, depth - 1, vars));
+      }
+      return Term::tuple(std::move(items));
+    }
+    default: {  // compound
+      static const char* kFun[] = {"f", "tree", "leaf", "node2"};
+      std::vector<Term> args;
+      const std::size_t n = 1 + rng.below(3);
+      for (std::size_t i = 0; i < n; ++i) {
+        args.push_back(random_term(rng, depth - 1, vars));
+      }
+      return Term::compound(kFun[rng.below(4)], std::move(args));
+    }
+  }
+}
+
+}  // namespace
+
+class TermFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TermFuzz, FormatParseRoundTrip) {
+  rt::Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Term> vars;
+    Term x = random_term(rng, 4, vars);
+    const std::string s = t::format_term(x);
+    Term y = t::parse_term(s);
+    EXPECT_TRUE(t::alpha_equal(x, y))
+        << "seed=" << GetParam() << " round=" << round << "\n  " << s
+        << "\n  vs " << t::format_term(y);
+  }
+}
+
+TEST_P(TermFuzz, ClauseRoundTrip) {
+  rt::Rng rng(GetParam() ^ 0xC1A05Eull);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Term> vars;
+    // Head must be a plain compound.
+    std::vector<Term> hargs;
+    const std::size_t n = 1 + rng.below(3);
+    for (std::size_t i = 0; i < n; ++i) {
+      hargs.push_back(random_term(rng, 2, vars));
+    }
+    t::Clause c;
+    c.head = Term::compound("p", std::move(hargs));
+    const std::size_t goals = 1 + rng.below(3);
+    for (std::size_t i = 0; i < goals; ++i) {
+      std::vector<Term> gargs{random_term(rng, 2, vars)};
+      c.body.push_back(Term::compound("g" + std::to_string(i), gargs));
+    }
+    const std::string s = t::format_clause(c);
+    auto parsed = t::parse_clauses(s);
+    ASSERT_EQ(parsed.size(), 1u) << s;
+    EXPECT_TRUE(t::alpha_equal_clause(c, parsed[0])) << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TermFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(PipelineFuzz, TransformOutputsAlwaysReparse) {
+  // Random small applications through Server ∘ Rand ∘ Terminate: output
+  // must re-parse and stay alpha-equivalent.
+  rt::Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    std::string src;
+    const int defs = 1 + static_cast<int>(rng.below(4));
+    for (int d = 0; d < defs; ++d) {
+      const std::string name = "p" + std::to_string(d);
+      src += name + "(0).\n";
+      src += name + "(N) :- N > 0 | N1 is N - 1, ";
+      if (rng.bernoulli(0.5)) {
+        src += "p" + std::to_string(rng.below(defs)) + "(N1)@random.\n";
+      } else {
+        src += name + "(N1).\n";
+      }
+    }
+    t::Program a = t::Program::parse(src);
+    t::Program out =
+        tf::compose_all({tf::server_motif(), tf::rand_motif(),
+                         tf::terminate_motif({"p0", 1})})
+            .apply(a);
+    t::Program back = t::Program::parse(out.to_source());
+    EXPECT_TRUE(back.alpha_equivalent(out)) << out.to_source();
+  }
+}

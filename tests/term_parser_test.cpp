@@ -1,0 +1,222 @@
+#include "term/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "term/term.hpp"
+
+namespace t = motif::term;
+using t::parse_clauses;
+using t::parse_term;
+using t::Term;
+
+TEST(ParseTerm, Atoms) {
+  EXPECT_EQ(parse_term("foo").functor(), "foo");
+  EXPECT_EQ(parse_term("'hello world'").functor(), "hello world");
+  EXPECT_EQ(parse_term("'Upper'").functor(), "Upper");
+}
+
+TEST(ParseTerm, Numbers) {
+  EXPECT_EQ(parse_term("42").int_value(), 42);
+  EXPECT_EQ(parse_term("-42").int_value(), -42);
+  EXPECT_DOUBLE_EQ(parse_term("3.14").float_value(), 3.14);
+  EXPECT_DOUBLE_EQ(parse_term("-2.5").float_value(), -2.5);
+  EXPECT_DOUBLE_EQ(parse_term("1.5e3").float_value(), 1500.0);
+}
+
+TEST(ParseTerm, Strings) {
+  EXPECT_EQ(parse_term("\"abc\"").str_value(), "abc");
+  EXPECT_EQ(parse_term("\"a\\\"b\"").str_value(), "a\"b");
+  EXPECT_EQ(parse_term("\"a\\nb\"").str_value(), "a\nb");
+}
+
+TEST(ParseTerm, Variables) {
+  Term v = parse_term("Xs1");
+  EXPECT_TRUE(v.is_var());
+  EXPECT_EQ(v.var_name(), "Xs1");
+}
+
+TEST(ParseTerm, SharedVariablesShareCells) {
+  Term p = parse_term("f(X,g(X),Y)");
+  EXPECT_TRUE(p.arg(0).same_node(p.arg(1).arg(0)));
+  EXPECT_FALSE(p.arg(0).same_node(p.arg(2)));
+}
+
+TEST(ParseTerm, AnonymousVarsAreDistinct) {
+  Term p = parse_term("f(_,_)");
+  EXPECT_FALSE(p.arg(0).same_node(p.arg(1)));
+}
+
+TEST(ParseTerm, Lists) {
+  Term l = parse_term("[1,2,3]");
+  auto xs = l.proper_list();
+  ASSERT_TRUE(xs);
+  EXPECT_EQ(xs->size(), 3u);
+  Term lt = parse_term("[H|T]");
+  EXPECT_TRUE(lt.is_cons());
+  EXPECT_TRUE(lt.arg(0).is_var());
+  EXPECT_TRUE(lt.arg(1).is_var());
+  EXPECT_TRUE(parse_term("[]").is_nil());
+  Term two = parse_term("[a,b|T]");
+  EXPECT_EQ(two.arg(0).functor(), "a");
+  EXPECT_EQ(two.arg(1).arg(0).functor(), "b");
+  EXPECT_TRUE(two.arg(1).arg(1).is_var());
+}
+
+TEST(ParseTerm, Tuples) {
+  Term tp = parse_term("{a,1,X}");
+  EXPECT_TRUE(tp.is_tuple());
+  EXPECT_EQ(tp.arity(), 3u);
+  EXPECT_TRUE(parse_term("{}").is_tuple());
+  EXPECT_EQ(parse_term("{}").arity(), 0u);
+}
+
+TEST(ParseTerm, Compounds) {
+  Term c = parse_term("tree(V,L,R)");
+  EXPECT_EQ(c.functor(), "tree");
+  EXPECT_EQ(c.arity(), 3u);
+  Term nested = parse_term("f(g(h(1)),[a])");
+  EXPECT_EQ(nested.arg(0).arg(0).arg(0).int_value(), 1);
+}
+
+TEST(ParseTerm, Operators) {
+  Term a = parse_term("X := Y + 1");
+  EXPECT_EQ(a.functor(), ":=");
+  EXPECT_EQ(a.arg(1).functor(), "+");
+  Term cmp = parse_term("N > 0");
+  EXPECT_EQ(cmp.functor(), ">");
+  Term prec = parse_term("1 + 2 * 3");
+  EXPECT_EQ(prec.functor(), "+");
+  EXPECT_EQ(prec.arg(1).functor(), "*");
+  Term assoc = parse_term("1 - 2 - 3");
+  // yfx: (1-2)-3
+  EXPECT_EQ(assoc.arg(0).functor(), "-");
+  EXPECT_EQ(assoc.arg(1).int_value(), 3);
+  Term parens = parse_term("(1 + 2) * 3");
+  EXPECT_EQ(parens.functor(), "*");
+}
+
+TEST(ParseTerm, IsAndMod) {
+  Term a = parse_term("N1 is N mod 2");
+  EXPECT_EQ(a.functor(), "is");
+  EXPECT_EQ(a.arg(1).functor(), "mod");
+}
+
+TEST(ParseTerm, PlacementAnnotation) {
+  Term g = parse_term("reduce(R,RV)@random");
+  EXPECT_EQ(g.functor(), "@");
+  EXPECT_EQ(g.arg(0).functor(), "reduce");
+  EXPECT_EQ(g.arg(1).functor(), "random");
+  Term j = parse_term("server_init(N,I,O)@J");
+  EXPECT_TRUE(j.arg(1).is_var());
+}
+
+TEST(ParseTerm, XfxDoesNotChain) {
+  EXPECT_THROW(parse_term("A := B := C"), t::ParseError);
+}
+
+TEST(ParseClauses, Facts) {
+  auto cs = parse_clauses("p(1). p(2).\nq.");
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_EQ(cs[0].head.functor(), "p");
+  EXPECT_TRUE(cs[0].guard.empty());
+  EXPECT_TRUE(cs[0].body.empty());
+  EXPECT_EQ(cs[2].head.functor(), "q");
+}
+
+TEST(ParseClauses, BodyOnly) {
+  auto cs = parse_clauses("go(N) :- producer(N,Xs,sync), consumer(Xs).");
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_TRUE(cs[0].guard.empty());
+  ASSERT_EQ(cs[0].body.size(), 2u);
+  EXPECT_EQ(cs[0].body[0].functor(), "producer");
+  // Xs is shared between the two body goals.
+  EXPECT_TRUE(cs[0].body[0].arg(1).same_node(cs[0].body[1].arg(0)));
+}
+
+TEST(ParseClauses, GuardAndCommit) {
+  auto cs = parse_clauses(
+      "producer(N,Xs,Sync) :- N > 0 | "
+      "Xs := [X|Xs1], N1 is N - 1, producer(N1,Xs1,X).");
+  ASSERT_EQ(cs.size(), 1u);
+  ASSERT_EQ(cs[0].guard.size(), 1u);
+  EXPECT_EQ(cs[0].guard[0].functor(), ">");
+  ASSERT_EQ(cs[0].body.size(), 3u);
+  EXPECT_EQ(cs[0].body[0].functor(), ":=");
+}
+
+TEST(ParseClauses, MultiGoalGuard) {
+  auto cs = parse_clauses("p(X,Y) :- X > 0, Y > 0 | q(X), r(Y).");
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].guard.size(), 2u);
+  EXPECT_EQ(cs[0].body.size(), 2u);
+}
+
+TEST(ParseClauses, BarInListIsNotCommit) {
+  auto cs = parse_clauses("consumer([X|Xs]) :- X := sync, consumer(Xs).");
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_TRUE(cs[0].guard.empty());
+  EXPECT_TRUE(cs[0].head.arg(0).is_cons());
+}
+
+TEST(ParseClauses, CommentsIgnored) {
+  auto cs = parse_clauses(
+      "% leading comment\n"
+      "p(1). % trailing\n"
+      "% whole line\n"
+      "p(2).\n");
+  EXPECT_EQ(cs.size(), 2u);
+}
+
+TEST(ParseClauses, VariablesScopedPerClause) {
+  auto cs = parse_clauses("p(X) :- q(X). r(X) :- s(X).");
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_FALSE(cs[0].head.arg(0).same_node(cs[1].head.arg(0)));
+}
+
+TEST(ParseClauses, PaperFigure1Parses) {
+  // The producer/consumer program of Figure 1 (notation normalised).
+  const char* src = R"(
+    go(N) :- producer(N,Xs,sync), consumer(Xs).
+    producer(N,Xs,_) :- N > 0 |
+        Xs := [X|Xs1], N1 is N - 1, producer(N1,Xs1,X).
+    producer(0,Xs,_) :- Xs := [].
+    consumer([X|Xs]) :- X := sync, consumer(Xs).
+    consumer([]).
+  )";
+  auto cs = parse_clauses(src);
+  ASSERT_EQ(cs.size(), 5u);
+  EXPECT_EQ(cs[1].guard.size(), 1u);
+  EXPECT_EQ(cs[4].head.functor(), "consumer");
+  EXPECT_TRUE(cs[4].head.arg(0).is_nil());
+}
+
+TEST(ParseClauses, PaperTreeReduceParses) {
+  // The four-line abstract tree reduction of Section 3.1.
+  const char* src = R"(
+    reduce(tree(V,L,R),Value) :-
+        reduce(R,RV)@random, reduce(L,LV), eval(V,LV,RV,Value).
+    reduce(leaf(L),Value) :- Value := L.
+  )";
+  auto cs = parse_clauses(src);
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].body[0].functor(), "@");
+  EXPECT_EQ(cs[1].body[0].functor(), ":=");
+}
+
+TEST(ParseClauses, Errors) {
+  EXPECT_THROW(parse_clauses("p(1)"), t::ParseError);     // missing '.'
+  EXPECT_THROW(parse_clauses("p(."), t::ParseError);      // bad term
+  EXPECT_THROW(parse_clauses("[1] :- q."), t::ParseError);  // list head
+  EXPECT_THROW(parse_clauses("p :- q("), t::ParseError);  // unterminated
+  EXPECT_THROW(parse_term("'abc"), t::ParseError);        // unterminated atom
+  EXPECT_THROW(parse_term("\"abc"), t::ParseError);       // unterminated str
+}
+
+TEST(ParseClauses, ErrorPositionsReported) {
+  try {
+    parse_clauses("p(1).\nq(¤).");
+    FAIL() << "expected ParseError";
+  } catch (const t::ParseError& e) {
+    EXPECT_EQ(e.line, 2);
+  }
+}

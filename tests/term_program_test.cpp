@@ -1,0 +1,124 @@
+#include "term/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t = motif::term;
+using t::ProcKey;
+using t::Program;
+
+namespace {
+const char* kTreeSrc = R"(
+  eval('+',L,R,Value) :- Value is L + R.
+  eval('*',L,R,Value) :- Value is L * R.
+  reduce(tree(V,L,R),Value) :- reduce(R,RV)@random, reduce(L,LV),
+      eval(V,LV,RV,Value).
+  reduce(leaf(L),Value) :- Value := L.
+)";
+}
+
+TEST(Program, ParseAndDefined) {
+  Program p = Program::parse(kTreeSrc);
+  EXPECT_EQ(p.clauses().size(), 4u);
+  auto defs = p.defined();
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0], (ProcKey{"eval", 4}));
+  EXPECT_EQ(defs[1], (ProcKey{"reduce", 2}));
+  EXPECT_TRUE(p.defines({"reduce", 2}));
+  EXPECT_FALSE(p.defines({"reduce", 3}));
+}
+
+TEST(Program, RulesForKeepsOrder) {
+  Program p = Program::parse(kTreeSrc);
+  auto rules = p.rules_for({"reduce", 2});
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].head.arg(0).functor(), "tree");
+  EXPECT_EQ(rules[1].head.arg(0).functor(), "leaf");
+}
+
+TEST(Program, GoalKeyStripsPlacement) {
+  Program p = Program::parse(kTreeSrc);
+  const auto rules = p.rules_for({"reduce", 2});
+  const auto& body = rules[0].body;
+  EXPECT_EQ(t::goal_key(body[0]), (ProcKey{"reduce", 2}));
+  auto view = t::strip_placement(body[0]);
+  EXPECT_TRUE(view.annotated);
+  EXPECT_EQ(view.placement.functor(), "random");
+  auto plain = t::strip_placement(body[1]);
+  EXPECT_FALSE(plain.annotated);
+}
+
+TEST(Program, CallGraph) {
+  Program p = Program::parse(kTreeSrc);
+  auto g = p.call_graph();
+  const auto& reduce_calls = g.at({"reduce", 2});
+  EXPECT_TRUE(reduce_calls.count({"reduce", 2}));
+  EXPECT_TRUE(reduce_calls.count({"eval", 4}));
+  EXPECT_TRUE(reduce_calls.count({":=", 2}));
+  const auto& eval_calls = g.at({"eval", 4});
+  EXPECT_TRUE(eval_calls.count({"is", 2}));
+}
+
+TEST(Program, CallersOfDirectAndTransitive) {
+  Program p = Program::parse(R"(
+    top(X) :- mid(X).
+    mid(X) :- leafp(X).
+    leafp(X) :- send(1,X).
+    other(X) :- unrelated(X).
+  )");
+  auto need = p.callers_of(
+      [](const ProcKey& k) { return k.name == "send" && k.arity == 2; });
+  EXPECT_TRUE(need.count({"leafp", 1}));
+  EXPECT_TRUE(need.count({"mid", 1}));
+  EXPECT_TRUE(need.count({"top", 1}));
+  EXPECT_FALSE(need.count({"other", 1}));
+}
+
+TEST(Program, CallersOfHandlesRecursion) {
+  Program p = Program::parse(R"(
+    loop(X) :- loop(X).
+    user(X) :- loop(X), nodes(N), use(N).
+  )");
+  auto need = p.callers_of(
+      [](const ProcKey& k) { return k.name == "nodes" && k.arity == 1; });
+  EXPECT_TRUE(need.count({"user", 1}));
+  EXPECT_FALSE(need.count({"loop", 1}));
+}
+
+TEST(Program, LinkedWithAppends) {
+  Program app = Program::parse("main :- helper(1).");
+  Program lib = Program::parse("helper(X) :- work(X).");
+  Program out = app.linked_with(lib);
+  EXPECT_EQ(out.clauses().size(), 2u);
+  EXPECT_TRUE(out.defines({"main", 0}));
+  EXPECT_TRUE(out.defines({"helper", 1}));
+  // Originals untouched (value semantics).
+  EXPECT_EQ(app.clauses().size(), 1u);
+}
+
+TEST(Program, AlphaEquivalentPrograms) {
+  Program a = Program::parse("p(X) :- q(X,Y), r(Y).");
+  Program b = Program::parse("p(A) :- q(A,B), r(B).");
+  Program c = Program::parse("p(A) :- q(A,B), r(A).");
+  EXPECT_TRUE(a.alpha_equivalent(b));
+  EXPECT_FALSE(a.alpha_equivalent(c));
+  EXPECT_FALSE(a.alpha_equivalent(Program::parse("p(X) :- q(X,Y).")));
+}
+
+TEST(Program, ToSourceRoundTrips) {
+  Program p = Program::parse(kTreeSrc);
+  Program q = Program::parse(p.to_source());
+  EXPECT_TRUE(p.alpha_equivalent(q));
+}
+
+TEST(Program, MetacallVariableGoalIgnoredInGraph) {
+  Program p = Program::parse("apply(G) :- G.");
+  auto g = p.call_graph();
+  EXPECT_TRUE(g.at({"apply", 1}).empty());
+}
+
+TEST(ProcKey, Ordering) {
+  ProcKey a{"a", 1}, b{"a", 2}, c{"b", 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.to_string(), "a/1");
+}

@@ -1,0 +1,168 @@
+#include "term/subst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "term/parser.hpp"
+
+namespace t = motif::term;
+using t::Bindings;
+using t::parse_term;
+using t::Term;
+
+TEST(Match, AtomToAtom) {
+  Bindings b;
+  EXPECT_TRUE(t::match(Term::atom("a"), Term::atom("a"), b));
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(t::match(Term::atom("a"), Term::atom("b"), b));
+}
+
+TEST(Match, VarBindsSubterm) {
+  Term pat = parse_term("send(Node,Msg)");
+  Term val = parse_term("send(3,reduce(T,V))");
+  Bindings b;
+  ASSERT_TRUE(t::match(pat, val, b));
+  EXPECT_EQ(b.at(pat.arg(0)).int_value(), 3);
+  EXPECT_EQ(b.at(pat.arg(1)).functor(), "reduce");
+}
+
+TEST(Match, RepeatedVarMustAgree) {
+  Term pat = parse_term("f(X,X)");
+  Bindings b1;
+  EXPECT_TRUE(t::match(pat, parse_term("f(1,1)"), b1));
+  Bindings b2;
+  EXPECT_FALSE(t::match(pat, parse_term("f(1,2)"), b2));
+}
+
+TEST(Match, ValueVarOnlyMatchesPatternVar) {
+  Bindings b;
+  EXPECT_FALSE(t::match(Term::atom("a"), Term::var("X"), b));
+  Term pat = Term::var("P");
+  Term val = Term::var("V");
+  Bindings b2;
+  EXPECT_TRUE(t::match(pat, val, b2));
+  EXPECT_TRUE(b2.at(pat).same_node(val));
+}
+
+TEST(Match, StructuresRecursively) {
+  Term pat = parse_term("reduce(tree(V,L,R),Val)");
+  Term val = parse_term("reduce(tree('+',leaf(1),leaf(2)),Out)");
+  Bindings b;
+  ASSERT_TRUE(t::match(pat, val, b));
+  EXPECT_EQ(b.at(pat.arg(0).arg(0)).functor(), "+");
+}
+
+TEST(Match, ArityMismatch) {
+  Bindings b;
+  EXPECT_FALSE(t::match(parse_term("f(X)"), parse_term("f(1,2)"), b));
+  EXPECT_FALSE(t::match(parse_term("f(X)"), parse_term("g(1)"), b));
+}
+
+TEST(Match, NumbersAndStrings) {
+  Bindings b;
+  EXPECT_TRUE(t::match(Term::integer(3), Term::integer(3), b));
+  EXPECT_FALSE(t::match(Term::integer(3), Term::real(3.0), b));
+  EXPECT_TRUE(t::match(Term::str("s"), Term::str("s"), b));
+  EXPECT_FALSE(t::match(Term::str("s"), Term::atom("s"), b));
+}
+
+TEST(Substitute, ReplacesMappedVars) {
+  Term pat = parse_term("f(X,g(X),Y)");
+  Bindings b;
+  b.emplace(pat.arg(0), Term::integer(1));
+  Term out = t::substitute(pat, b);
+  EXPECT_TRUE(out == parse_term("f(1,g(1),Y)").deref() ||
+              t::alpha_equal(out, parse_term("f(1,g(1),Y)")));
+}
+
+TEST(Substitute, UnmappedVarsStay) {
+  Term v = Term::var("Z");
+  Bindings b;
+  EXPECT_TRUE(t::substitute(v, b).same_node(v));
+}
+
+TEST(Substitute, ThroughReplacement) {
+  Term x = Term::var("X"), y = Term::var("Y");
+  Bindings b;
+  b.emplace(x, Term::compound("f", {y}));
+  b.emplace(y, Term::integer(2));
+  Term out = t::substitute(x, b);
+  EXPECT_TRUE(out == parse_term("f(2)"));
+}
+
+TEST(RenameFresh, SharesMappingAcrossCalls) {
+  Term c = parse_term("p(X,Y)");
+  Term d = parse_term("q(Z)");
+  Bindings m;
+  Term c2 = t::rename_fresh(c, m);
+  EXPECT_FALSE(c2.arg(0).same_node(c.arg(0)));
+  EXPECT_EQ(c2.arg(0).var_name(), "X");
+  // Renaming the same term again reuses the mapping.
+  Term c3 = t::rename_fresh(c, m);
+  EXPECT_TRUE(c3.arg(0).same_node(c2.arg(0)));
+  (void)d;
+}
+
+TEST(RenameFresh, PreservesSharing) {
+  Term c = parse_term("f(X,X)");
+  Bindings m;
+  Term c2 = t::rename_fresh(c, m);
+  EXPECT_TRUE(c2.arg(0).same_node(c2.arg(1)));
+}
+
+TEST(Rewrite, BottomUpReplacement) {
+  Term in = parse_term("f(g(1),g(2))");
+  Term out = t::rewrite(in, [](const Term& x) -> std::optional<Term> {
+    if (x.is_compound() && x.functor() == "g") {
+      return Term::compound("h", {x.arg(0)});
+    }
+    return std::nullopt;
+  });
+  EXPECT_TRUE(out == parse_term("f(h(1),h(2))"));
+}
+
+TEST(Rewrite, ChildrenRewrittenBeforeParent) {
+  Term in = parse_term("g(g(1))");
+  int calls = 0;
+  Term out = t::rewrite(in, [&](const Term& x) -> std::optional<Term> {
+    if (x.is_compound() && x.functor() == "g") {
+      ++calls;
+      return Term::compound("h", {x.arg(0)});
+    }
+    return std::nullopt;
+  });
+  EXPECT_EQ(calls, 2);
+  EXPECT_TRUE(out == parse_term("h(h(1))"));
+}
+
+TEST(Contains, FindsSubterm) {
+  Term in = parse_term("f(g([1,send(2)]),h)");
+  EXPECT_TRUE(t::contains(in, [](const Term& x) {
+    return x.is_compound() && x.functor() == "send";
+  }));
+  EXPECT_FALSE(t::contains(in, [](const Term& x) {
+    return x.is_atom() && x.functor() == "absent";
+  }));
+}
+
+TEST(AlphaEqual, RenamedTermsEqual) {
+  EXPECT_TRUE(t::alpha_equal(parse_term("f(X,Y,X)"), parse_term("f(A,B,A)")));
+  EXPECT_FALSE(t::alpha_equal(parse_term("f(X,Y,X)"), parse_term("f(A,B,B)")));
+  EXPECT_FALSE(t::alpha_equal(parse_term("f(X,X)"), parse_term("f(A,B)")));
+  EXPECT_FALSE(t::alpha_equal(parse_term("f(A,B)"), parse_term("f(X,X)")));
+}
+
+TEST(AlphaEqual, GroundTermsUseEquality) {
+  EXPECT_TRUE(t::alpha_equal(parse_term("f(1,[a,b])"), parse_term("f(1,[a,b])")));
+  EXPECT_FALSE(t::alpha_equal(parse_term("f(1)"), parse_term("f(2)")));
+}
+
+TEST(AlphaEqual, SharedMappingAcrossSequence) {
+  Bindings va, vb;
+  Term h1 = parse_term("p(X)");
+  Term h2 = parse_term("p(Y)");
+  EXPECT_TRUE(t::alpha_equal(h1, h2, va, vb));
+  // Now X must keep mapping to Y.
+  EXPECT_TRUE(t::alpha_equal(h1.arg(0), h2.arg(0), va, vb));
+  Term other = parse_term("q(Z)");
+  EXPECT_FALSE(t::alpha_equal(h1.arg(0), other.arg(0), va, vb));
+}

@@ -1,0 +1,103 @@
+#include "term/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "term/parser.hpp"
+#include "term/program.hpp"
+#include "term/subst.hpp"
+
+namespace t = motif::term;
+using t::format_clause;
+using t::format_term;
+using t::parse_clauses;
+using t::parse_term;
+using t::Term;
+
+TEST(Writer, InfixOperators) {
+  EXPECT_EQ(format_term(parse_term("X := Y + 1")), "X := Y + 1");
+  EXPECT_EQ(format_term(parse_term("N > 0")), "N > 0");
+  EXPECT_EQ(format_term(parse_term("N1 is N - 1")), "N1 is N - 1");
+}
+
+TEST(Writer, PrecedenceParenthesization) {
+  EXPECT_EQ(format_term(parse_term("(1 + 2) * 3")), "(1 + 2) * 3");
+  EXPECT_EQ(format_term(parse_term("1 + 2 * 3")), "1 + 2 * 3");
+  EXPECT_EQ(format_term(parse_term("1 - (2 - 3)")), "1 - (2 - 3)");
+  EXPECT_EQ(format_term(parse_term("1 - 2 - 3")), "1 - 2 - 3");
+}
+
+TEST(Writer, PlacementTight) {
+  EXPECT_EQ(format_term(parse_term("reduce(R,RV)@random")),
+            "reduce(R,RV)@random");
+  EXPECT_EQ(format_term(parse_term("server_init(N,I,O)@J")),
+            "server_init(N,I,O)@J");
+}
+
+TEST(Writer, ListsTuplesStrings) {
+  EXPECT_EQ(format_term(parse_term("[1,2|T]")), "[1,2|T]");
+  EXPECT_EQ(format_term(parse_term("{a,B}")), "{a,B}");
+  EXPECT_EQ(format_term(parse_term("\"hi\"")), "\"hi\"");
+}
+
+TEST(Writer, ClauseForms) {
+  auto cs = parse_clauses("p(1).");
+  EXPECT_EQ(format_clause(cs[0]), "p(1).");
+  cs = parse_clauses("p(X) :- q(X), r(X).");
+  EXPECT_EQ(format_clause(cs[0]), "p(X) :- q(X), r(X).");
+  cs = parse_clauses("p(X) :- X > 0 | q(X).");
+  EXPECT_EQ(format_clause(cs[0]), "p(X) :- X > 0 | q(X).");
+}
+
+// The round-trip property: parse(format(C)) is alpha-equivalent to C.
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, ParseFormatParse) {
+  auto cs1 = parse_clauses(GetParam());
+  std::string rendered = t::format_clauses(cs1);
+  auto cs2 = parse_clauses(rendered);
+  ASSERT_EQ(cs1.size(), cs2.size()) << rendered;
+  for (std::size_t i = 0; i < cs1.size(); ++i) {
+    EXPECT_TRUE(t::alpha_equal_clause(cs1[i], cs2[i]))
+        << "clause " << i << " in:\n" << rendered;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPrograms, RoundTrip,
+    ::testing::Values(
+        // Figure 1
+        "go(N) :- producer(N,Xs,sync), consumer(Xs).\n"
+        "producer(N,Xs,_) :- N > 0 | Xs := [X|Xs1], N1 is N - 1, "
+        "producer(N1,Xs1,X).\n"
+        "producer(0,Xs,_) :- Xs := [].\n"
+        "consumer([X|Xs]) :- X := sync, consumer(Xs).\n"
+        "consumer([]).",
+        // Section 3.1 abstract tree reduction
+        "reduce(tree(V,L,R),Value) :- reduce(R,RV)@random, reduce(L,LV), "
+        "eval(V,LV,RV,Value).\n"
+        "reduce(leaf(L),Value) :- Value := L.",
+        // eval rules (Figure 2 part A)
+        "eval('+',L,R,Value) :- Value is L + R.\n"
+        "eval('*',L,R,Value) :- Value is L * R.",
+        // Server-transformed reduce (Figure 5 bottom)
+        "reduce(tree(V,L,R),Value,DT) :- length(DT,N), rand_num(N,O), "
+        "distribute(O,reduce(R,RV),DT), reduce(L,LV,DT), "
+        "eval(V,LV,RV,Value).\n"
+        "reduce(leaf(L),Value,_) :- Value := L.",
+        // server rules
+        "server([reduce(T,V)|In],DT) :- reduce(T,V,DT), server(In,DT).\n"
+        "server([halt|_],_).",
+        // assorted shapes
+        "p([]).\n"
+        "p([{K,V}|Rest]) :- q(K), r(V), p(Rest).",
+        "f(X) :- X > 1, X < 10 | g(X).",
+        "m(A,B) :- A =< B | mn(A,B).\n"
+        "m(A,B) :- A > B | mn(B,A).",
+        "w(S) :- t(\"text\", 3.5, S).",
+        "deep(X) :- a(b(c(d([1,[2,[3|T]]],{X,-4})))).") );
+
+TEST(Writer, DefinitionsSeparatedByBlankLine) {
+  auto cs = parse_clauses("p(1). p(2). q(3).");
+  std::string s = t::format_clauses(cs);
+  EXPECT_NE(s.find("p(2).\n\nq(3)."), std::string::npos);
+}

@@ -1,0 +1,107 @@
+// The motif algebra: M(A) = T(A) ∪ L and composition
+// (M2 ∘ M1)(A) = T2(T1(A) ∪ L1) ∪ L2 (paper Section 2.2).
+#include "transform/motif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "term/subst.hpp"
+
+namespace tf = motif::transform;
+namespace t = motif::term;
+using t::Program;
+
+namespace {
+// A toy transformation: renames process p/1 to q/1 (heads and calls).
+tf::Transform rename_p_to_q() {
+  return [](const Program& a) {
+    Program out;
+    for (auto c : a.clauses()) {
+      auto fix = [](const t::Term& x) -> std::optional<t::Term> {
+        if (x.is_compound() && x.functor() == "p" && x.arity() == 1) {
+          return t::Term::compound("q", {x.arg(0)});
+        }
+        return std::nullopt;
+      };
+      c.head = t::rewrite(c.head, fix);
+      for (auto& g : c.body) g = t::rewrite(g, fix);
+      out.add(c);
+    }
+    return out;
+  };
+}
+}  // namespace
+
+TEST(Motif, ApplyIsTransformThenLink) {
+  tf::Motif m("M", rename_p_to_q(), Program::parse("lib(1)."));
+  Program a = Program::parse("main :- p(1).\np(X) :- done(X).");
+  Program out = m.apply(a);
+  EXPECT_TRUE(out.defines({"q", 1}));
+  EXPECT_FALSE(out.defines({"p", 1}));
+  EXPECT_TRUE(out.defines({"lib", 1}));
+  // Library is appended after the transformed application.
+  EXPECT_EQ(out.clauses().back().head.functor(), "lib");
+}
+
+TEST(Motif, IdentityMotifJustLinks) {
+  tf::Motif m("L", tf::identity_transform(), Program::parse("extra."));
+  Program a = Program::parse("main.");
+  Program out = m.apply(a);
+  EXPECT_EQ(out.clauses().size(), 2u);
+  EXPECT_TRUE(out.alpha_equivalent(Program::parse("main.\nextra.")));
+}
+
+TEST(Motif, ComposeMatchesManualPipeline) {
+  tf::Motif m1("M1", rename_p_to_q(), Program::parse("p(9)."));
+  tf::Motif m2("M2", rename_p_to_q(), Program::parse("lib2."));
+  Program a = Program::parse("main :- p(0).");
+  // Manual: T2(T1(A) ∪ L1) ∪ L2.
+  Program manual = m2.apply(m1.apply(a));
+  Program composed = tf::compose(m2, m1).apply(a);
+  EXPECT_TRUE(composed.alpha_equivalent(manual));
+  // The library clause p(9) from M1 is itself transformed by T2 -> q(9):
+  EXPECT_TRUE(composed.defines({"q", 1}));
+  EXPECT_FALSE(composed.defines({"p", 1}));
+}
+
+TEST(Motif, ComposeAllRightmostFirst) {
+  // compose_all({M2, M1}) must equal M2 ∘ M1.
+  tf::Motif m1("M1", tf::identity_transform(), Program::parse("one."));
+  tf::Motif m2("M2", tf::identity_transform(), Program::parse("two."));
+  Program a = Program::parse("zero.");
+  Program out = tf::compose_all({m2, m1}).apply(a);
+  // Order: A, L1, L2.
+  ASSERT_EQ(out.clauses().size(), 3u);
+  EXPECT_EQ(out.clauses()[0].head.functor(), "zero");
+  EXPECT_EQ(out.clauses()[1].head.functor(), "one");
+  EXPECT_EQ(out.clauses()[2].head.functor(), "two");
+}
+
+TEST(Motif, ComposeAllEmptyIsIdentity) {
+  Program a = Program::parse("x.");
+  EXPECT_TRUE(tf::compose_all({}).apply(a).alpha_equivalent(a));
+}
+
+TEST(Motif, ComposedNameMentionsBoth) {
+  tf::Motif m1("Inner", tf::identity_transform(), Program{});
+  tf::Motif m2("Outer", tf::identity_transform(), Program{});
+  EXPECT_EQ(tf::compose(m2, m1).name(), "Outer o Inner");
+}
+
+TEST(FreshVarName, AvoidsClauseVariables) {
+  auto cs = t::parse_clauses("p(DT,N) :- q(DT1,N).");
+  EXPECT_EQ(tf::fresh_var_name(cs[0], "DT"), "DT2");
+  EXPECT_EQ(tf::fresh_var_name(cs[0], "N"), "N1");
+  EXPECT_EQ(tf::fresh_var_name(cs[0], "X"), "X");
+}
+
+TEST(FreshNamer, SequentialRequestsStayDistinct) {
+  auto cs = t::parse_clauses("p(X) :- q(X).");
+  tf::FreshNamer namer(cs[0]);
+  auto a = namer.fresh("N");
+  auto b = namer.fresh("N");
+  auto c = namer.fresh("N");
+  EXPECT_EQ(a.var_name(), "N");
+  EXPECT_EQ(b.var_name(), "N1");
+  EXPECT_EQ(c.var_name(), "N2");
+  EXPECT_FALSE(a.same_node(b));
+}

@@ -1,0 +1,193 @@
+// End-to-end: the composed motifs produce programs that EXECUTE on the
+// interpreter — the final stage of Figure 5/6 "is a program that can be
+// executed on a parallel computer."
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "interp/interp.hpp"
+#include "term/parser.hpp"
+#include "transform/motif.hpp"
+#include "transform/rand.hpp"
+#include "transform/server.hpp"
+#include "transform/tree.hpp"
+
+namespace tf = motif::transform;
+namespace in = motif::interp;
+namespace t = motif::term;
+using in::Interp;
+using in::InterpOptions;
+using t::Program;
+
+namespace {
+
+const char* kUserEval = R"(
+  eval('+',L,R,Value) :- Value is L + R.
+  eval('*',L,R,Value) :- Value is L * R.
+)";
+
+InterpOptions nodes(std::uint32_t n) {
+  InterpOptions o;
+  o.nodes = n;
+  o.workers = 2;
+  return o;
+}
+
+std::string paper_tree() {
+  // (3*2) * (3+1) = 24, the paper's example value.
+  return "tree('*',tree('*',leaf(3),leaf(2)),tree('+',leaf(3),leaf(1)))";
+}
+
+std::string sum_tree(int n) {
+  // Balanced sum tree with n leaves of 1 (value n).
+  std::function<std::string(int)> build = [&](int k) -> std::string {
+    if (k == 1) return "leaf(1)";
+    return "tree('+'," + build(k / 2) + "," + build(k - k / 2) + ")";
+  };
+  return build(n);
+}
+
+}  // namespace
+
+TEST(TreeReduce1Run, PaperTreeWithoutTermination) {
+  // Initial message reduce(T,V): the paper's base Random motif provides
+  // no termination detection — the result is produced and the servers
+  // remain waiting for messages.
+  Program p = tf::compose_all({tf::server_motif(), tf::rand_motif(),
+                               tf::tree1_motif()})
+                  .apply(Program::parse(kUserEval));
+  Interp i(p, nodes(2));
+  auto [goal, r] =
+      i.run_query("create(2, reduce(" + paper_tree() + ",Value))");
+  EXPECT_EQ(goal.arg(1).arg(1).int_value(), 24);
+  // The two servers are still suspended on their input streams.
+  EXPECT_EQ(r.still_suspended, 2u);
+}
+
+TEST(TreeReduce1Run, PaperTreeWithTerminatingDriver) {
+  Program p = tf::tree_reduce1_motif().apply(Program::parse(kUserEval));
+  Interp i(p, nodes(2));
+  auto [goal, r] = i.run_query("create(2, run(" + paper_tree() + ",Value))");
+  EXPECT_EQ(goal.arg(1).arg(1).int_value(), 24);
+  EXPECT_FALSE(r.deadlocked())
+      << (r.stuck_goals.empty() ? "-" : r.stuck_goals[0]);
+}
+
+TEST(TreeReduce1Run, LargeTreeManyServers) {
+  Program p = tf::tree_reduce1_motif().apply(Program::parse(kUserEval));
+  Interp i(p, nodes(8));
+  auto [goal, r] =
+      i.run_query("create(8, run(" + sum_tree(128) + ",Value))");
+  EXPECT_EQ(goal.arg(1).arg(1).int_value(), 128);
+  EXPECT_FALSE(r.deadlocked());
+  // Random mapping actually ships subtrees to other servers.
+  EXPECT_GT(r.load.remote_msgs, 0u);
+}
+
+TEST(TreeReduce2Run, PaperTree) {
+  Program p = tf::tree_reduce2_full_motif().apply(Program::parse(kUserEval));
+  Interp i(p, nodes(4));
+  auto [goal, r] =
+      i.run_query("create(4, start(" + paper_tree() + ",Value))");
+  EXPECT_EQ(goal.arg(1).arg(1).int_value(), 24)
+      << (r.stuck_goals.empty() ? "-" : r.stuck_goals[0]);
+  EXPECT_FALSE(r.deadlocked());
+}
+
+TEST(TreeReduce2Run, SingleLeafTree) {
+  Program p = tf::tree_reduce2_full_motif().apply(Program::parse(kUserEval));
+  Interp i(p, nodes(2));
+  auto [goal, r] = i.run_query("create(2, start(leaf(7),Value))");
+  EXPECT_EQ(goal.arg(1).arg(1).int_value(), 7);
+  EXPECT_FALSE(r.deadlocked());
+}
+
+TEST(TreeReduce2Run, LargerTreesAcrossSizes) {
+  Program p = tf::tree_reduce2_full_motif().apply(Program::parse(kUserEval));
+  for (int leaves : {2, 3, 8, 33, 64}) {
+    Interp i(p, nodes(4));
+    auto [goal, r] =
+        i.run_query("create(4, start(" + sum_tree(leaves) + ",Value))");
+    EXPECT_EQ(goal.arg(1).arg(1).int_value(), leaves) << leaves;
+    EXPECT_FALSE(r.deadlocked()) << leaves;
+  }
+}
+
+TEST(TreeReduce2Run, DeterministicForSeed) {
+  Program p = tf::tree_reduce2_full_motif().apply(Program::parse(kUserEval));
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    InterpOptions o = nodes(4);
+    o.seed = seed;
+    Interp i(p, o);
+    auto [goal, r] =
+        i.run_query("create(4, start(" + sum_tree(16) + ",Value))");
+    EXPECT_EQ(goal.arg(1).arg(1).int_value(), 16) << seed;
+  }
+}
+
+TEST(TreeReduce2Run, BothMotifsSameInterfaceSameResult) {
+  // Section 3.6: "These provide the same interface to the user ...
+  // However, the two motifs implement different parallel algorithms."
+  Program p1 = tf::tree_reduce1_motif().apply(Program::parse(kUserEval));
+  Program p2 = tf::tree_reduce2_full_motif().apply(Program::parse(kUserEval));
+  Interp i1(p1, nodes(4));
+  Interp i2(p2, nodes(4));
+  auto r1 = i1.run_query("create(4, run(" + sum_tree(32) + ",V))");
+  auto r2 = i2.run_query("create(4, start(" + sum_tree(32) + ",V))");
+  EXPECT_EQ(r1.first.arg(1).arg(1).int_value(),
+            r2.first.arg(1).arg(1).int_value());
+}
+
+TEST(TreeReduce1BothRun, ModifiedMotifSameInterfaceMoreShipping) {
+  // Reuse through modification (Section 1): the Tree1Both variant ships
+  // BOTH subtrees; same user program, same entry, same answer — but more
+  // remote messages than the original.
+  Program user = Program::parse(kUserEval);
+  Program orig = tf::tree_reduce1_motif().apply(user);
+  Program both = tf::tree_reduce1_both_motif().apply(user);
+
+  Interp i1(orig, nodes(4));
+  auto [g1, r1] = i1.run_query("create(4, run(" + sum_tree(64) + ",V))");
+  Interp i2(both, nodes(4));
+  auto [g2, r2] = i2.run_query("create(4, run(" + sum_tree(64) + ",V))");
+
+  EXPECT_EQ(g1.arg(1).arg(1).int_value(), 64);
+  EXPECT_EQ(g2.arg(1).arg(1).int_value(), 64);
+  EXPECT_FALSE(r1.deadlocked());
+  EXPECT_FALSE(r2.deadlocked());
+  // Both-shipping posts roughly twice the reduce messages.
+  EXPECT_GT(r2.load.remote_msgs, r1.load.remote_msgs);
+}
+
+TEST(ServerMotifRun, EchoServerApplication) {
+  // A direct Server-motif client (no Rand): a ping application that
+  // passes a token around the ring of servers and then halts.
+  const char* kApp = R"(
+    server([token(0,Done)|_]) :- Done := done, halt.
+    server([token(K,Done)|In]) :- K > 0 |
+        nodes(N), pick_next(K, N, Next),
+        K1 is K - 1,
+        send(Next, token(K1,Done)),
+        server(In).
+    server([halt|_]).
+    pick_next(K, N, Next) :- Next is (K mod N) + 1.
+  )";
+  Program p = tf::server_motif().apply(Program::parse(kApp));
+  Interp i(p, nodes(3));
+  auto [goal, r] = i.run_query("create(3, token(10,Done))");
+  EXPECT_EQ(goal.arg(1).arg(1).functor(), "done");
+  EXPECT_FALSE(r.deadlocked());
+  EXPECT_GE(r.load.remote_msgs, 5u);
+}
+
+TEST(ServerMotifRun, NodesReportsServerCount) {
+  const char* kApp = R"(
+    server([count(C)|_]) :- nodes(C), halt.
+    server([halt|_]).
+  )";
+  Program p = tf::server_motif().apply(Program::parse(kApp));
+  Interp i(p, nodes(5));
+  auto [goal, r] = i.run_query("create(5, count(C))");
+  EXPECT_EQ(goal.arg(1).arg(0).int_value(), 5);
+  EXPECT_FALSE(r.deadlocked());
+}

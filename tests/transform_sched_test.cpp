@@ -1,0 +1,154 @@
+// The Sched motif (Section 2.2 / reference [6]): the @task pragma, the
+// generated dispatcher, and the full Scheduler = Server ∘ Sched pipeline
+// executing on the interpreter.
+#include <gtest/gtest.h>
+
+#include "interp/interp.hpp"
+#include "transform/motif.hpp"
+#include "transform/sched.hpp"
+#include "transform/server.hpp"
+
+namespace tf = motif::transform;
+namespace in = motif::interp;
+namespace t = motif::term;
+using t::ProcKey;
+using t::Program;
+
+namespace {
+
+// Squares computed as scheduler tasks; results meet in a shared list;
+// completion is detected by dataflow and halts the network.
+const char* kSquares = R"(
+  main(N, Rs) :- spawn_tasks(N, Rs), watch(Rs).
+  spawn_tasks(0, Rs) :- Rs := [].
+  spawn_tasks(N, Rs) :- N > 0 |
+      Rs := [R|Rs1],
+      square(N, R)@task,
+      N1 is N - 1,
+      spawn_tasks(N1, Rs1).
+  square(N, R) :- R is N * N.
+  watch([]) :- halt.
+  watch([R|Rs]) :- data(R) | watch(Rs).
+)";
+
+in::InterpOptions nodes(std::uint32_t n) {
+  in::InterpOptions o;
+  o.nodes = n;
+  o.workers = 2;
+  return o;
+}
+
+}  // namespace
+
+TEST(SchedTransform, RewritesTaskPragma) {
+  Program a = Program::parse("p(X) :- q(X)@task.\nq(_).");
+  Program out = tf::sched_motif().transformed(a);
+  const auto& g = out.clauses()[0].body[0];
+  EXPECT_EQ(g.functor(), "send");
+  EXPECT_EQ(g.arg(0).int_value(), 1);
+  EXPECT_EQ(g.arg(1).functor(), "task");
+  EXPECT_EQ(g.arg(1).arg(0).functor(), "q");
+}
+
+TEST(SchedTransform, GeneratesDispatcherPerTaskType) {
+  Program a = Program::parse(
+      "p :- q(1)@task, r(1,2)@task, q(3)@task.\nq(_).\nr(_,_).");
+  Program out = tf::sched_motif().transformed(a);
+  auto rules = out.rules_for({"run_task", 1});
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].head.arg(0).functor(), "q");
+  EXPECT_EQ(rules[1].head.arg(0).functor(), "r");
+  // Dispatcher is a real call (Server transform can thread DT).
+  EXPECT_EQ(rules[0].body[0].functor(), "q");
+}
+
+TEST(SchedTransform, EntryTypesGetDispatchers) {
+  Program a = Program::parse("q(_).");
+  Program out = tf::sched_motif({ProcKey{"q", 1}}).transformed(a);
+  EXPECT_EQ(out.rules_for({"run_task", 1}).size(), 1u);
+}
+
+TEST(SchedTransform, AnnotatedTaskTypesDiscovery) {
+  Program a = Program::parse(
+      "p :- q(1)@task, s(2)@random, q(2)@task.\nq(_).\ns(_).");
+  auto keys = tf::annotated_task_types(a);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (ProcKey{"q", 1}));
+}
+
+TEST(SchedTransform, LibraryDefinesManagerAndWorker) {
+  Program lib = tf::sched_library();
+  EXPECT_TRUE(lib.defines({"server", 1}));
+  EXPECT_TRUE(lib.defines({"manager", 3}));
+  EXPECT_TRUE(lib.defines({"worker", 1}));
+  EXPECT_TRUE(lib.defines({"assign", 5}));
+  EXPECT_TRUE(lib.defines({"feed", 5}));
+}
+
+TEST(SchedRun, SquaresComputedByWorkers) {
+  Program full =
+      tf::compose(tf::server_motif(),
+                  tf::sched_motif({ProcKey{"main", 2}}))
+          .apply(Program::parse(kSquares));
+  in::Interp interp(full, nodes(4));
+  auto [goal, r] = interp.run_query("create(4, task(main(10, Rs)))");
+  EXPECT_FALSE(r.deadlocked())
+      << (r.stuck_goals.empty() ? "-" : r.stuck_goals[0]);
+  auto rs = goal.arg(1).arg(0).arg(1).proper_list();
+  ASSERT_TRUE(rs.has_value());
+  ASSERT_EQ(rs->size(), 10u);
+  // spawn_tasks builds the list from N down to 1.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ((*rs)[static_cast<std::size_t>(i)].int_value(),
+              static_cast<std::int64_t>((10 - i) * (10 - i)));
+  }
+}
+
+TEST(SchedRun, TasksSpreadAcrossWorkers) {
+  Program full =
+      tf::compose(tf::server_motif(),
+                  tf::sched_motif({ProcKey{"main", 2}}))
+          .apply(Program::parse(kSquares));
+  in::Interp interp(full, nodes(5));
+  auto [goal, r] = interp.run_query("create(5, task(main(40, Rs)))");
+  EXPECT_FALSE(r.deadlocked());
+  // Worker nodes (2..5 -> machine nodes 1..4) all executed tasks.
+  std::uint32_t busy = 0;
+  for (motif::rt::NodeId n = 1; n < 5; ++n) {
+    busy += interp.machine().counters(n).tasks.load() > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(busy, 4u);
+}
+
+TEST(SchedRun, NestedTaskSpawning) {
+  // A task type that spawns further tasks: the dispatcher rules let the
+  // Server transform thread DT through the task types themselves.
+  const char* kNested = R"(
+    main(Out) :- fanout(3, Out), finish(Out).
+    fanout(0, Out) :- Out := done.
+    fanout(N, Out) :- N > 0 | N1 is N - 1, fanout(N1, Out)@task.
+    finish(Out) :- data(Out) | halt.
+  )";
+  Program full =
+      tf::compose(tf::server_motif(),
+                  tf::sched_motif({ProcKey{"main", 1}}))
+          .apply(Program::parse(kNested));
+  in::Interp interp(full, nodes(3));
+  auto [goal, r] = interp.run_query("create(3, task(main(Out)))");
+  EXPECT_FALSE(r.deadlocked())
+      << (r.stuck_goals.empty() ? "-" : r.stuck_goals[0]);
+  EXPECT_EQ(goal.arg(1).arg(0).arg(0).functor(), "done");
+}
+
+TEST(SchedRun, SingleWorkerStillCompletes) {
+  Program full =
+      tf::compose(tf::server_motif(),
+                  tf::sched_motif({ProcKey{"main", 2}}))
+          .apply(Program::parse(kSquares));
+  in::Interp interp(full, nodes(2));  // manager + 1 worker
+  auto [goal, r] = interp.run_query("create(2, task(main(6, Rs)))");
+  EXPECT_FALSE(r.deadlocked());
+  auto rs = goal.arg(1).arg(0).arg(1).proper_list();
+  ASSERT_TRUE(rs.has_value());
+  EXPECT_EQ(rs->size(), 6u);
+}

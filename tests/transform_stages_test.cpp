@@ -1,0 +1,219 @@
+// Golden reproduction of Figure 5: "The Three Stages of Tree-Reduce-1".
+// Each stage's output must be alpha-equivalent to the paper's listing.
+#include <gtest/gtest.h>
+
+#include "term/program.hpp"
+#include "transform/motif.hpp"
+#include "transform/rand.hpp"
+#include "transform/server.hpp"
+#include "transform/tree.hpp"
+
+namespace tf = motif::transform;
+namespace t = motif::term;
+using t::Program;
+
+namespace {
+
+// The user's application: just the node evaluation function (Figure 2
+// part A).
+const char* kUserEval = R"(
+  eval('+',L,R,Value) :- Value is L + R.
+  eval('*',L,R,Value) :- Value is L * R.
+)";
+
+// Figure 5, first section: output of the Tree1 motif.
+const char* kStage1 = R"(
+  eval('+',L,R,Value) :- Value is L + R.
+  eval('*',L,R,Value) :- Value is L * R.
+
+  reduce(tree(V,L,R),Value) :-
+      reduce(R,RV)@random,
+      reduce(L,LV),
+      eval(V,LV,RV,Value).
+  reduce(leaf(L),Value) :- Value := L.
+)";
+
+// Figure 5, second section: output of the Rand motif.
+const char* kStage2 = R"(
+  eval('+',L,R,Value) :- Value is L + R.
+  eval('*',L,R,Value) :- Value is L * R.
+
+  reduce(tree(V,L,R),Value) :-
+      nodes(N), rand_num(N,O), send(O,reduce(R,RV)),
+      reduce(L,LV),
+      eval(V,LV,RV,Value).
+  reduce(leaf(L),Value) :- Value := L.
+
+  server([reduce(T,V)|In]) :- reduce(T,V), server(In).
+  server([halt|_]).
+)";
+
+// Figure 5, third section: output of the Server motif (before the
+// library is linked).
+const char* kStage3 = R"(
+  eval('+',L,R,Value) :- Value is L + R.
+  eval('*',L,R,Value) :- Value is L * R.
+
+  reduce(tree(V,L,R),Value,DT) :-
+      length(DT,N), rand_num(N,O), distribute(O,reduce(R,RV),DT),
+      reduce(L,LV,DT),
+      eval(V,LV,RV,Value).
+  reduce(leaf(L),Value,_) :- Value := L.
+
+  server([reduce(T,V)|In],DT) :- reduce(T,V,DT), server(In,DT).
+  server([halt|_],_).
+)";
+
+}  // namespace
+
+TEST(Figure5, Stage1Tree1) {
+  Program out = tf::tree1_motif().apply(Program::parse(kUserEval));
+  EXPECT_TRUE(out.alpha_equivalent(Program::parse(kStage1)))
+      << out.to_source();
+}
+
+TEST(Figure5, Stage2Rand) {
+  Program s1 = tf::tree1_motif().apply(Program::parse(kUserEval));
+  Program out = tf::rand_motif().apply(s1);
+  EXPECT_TRUE(out.alpha_equivalent(Program::parse(kStage2)))
+      << out.to_source();
+}
+
+TEST(Figure5, Stage3ServerTransform) {
+  Program s2 = tf::rand_motif().apply(
+      tf::tree1_motif().apply(Program::parse(kUserEval)));
+  // Compare the transformed application only (the linked library is
+  // checked separately).
+  Program out = tf::server_motif().transformed(s2);
+  EXPECT_TRUE(out.alpha_equivalent(Program::parse(kStage3)))
+      << out.to_source();
+}
+
+TEST(Figure5, FullCompositionLinksServerLibrary) {
+  Program out =
+      tf::compose_all({tf::server_motif(), tf::rand_motif(),
+                       tf::tree1_motif()})
+          .apply(Program::parse(kUserEval));
+  EXPECT_TRUE(out.defines({"create", 2}));
+  EXPECT_TRUE(out.defines({"boot", 2}));
+  EXPECT_TRUE(out.defines({"server", 2}));
+  EXPECT_FALSE(out.defines({"server", 1}));
+  // eval is untouched by every stage.
+  auto evals = out.rules_for({"eval", 4});
+  EXPECT_EQ(evals.size(), 2u);
+}
+
+TEST(Figure5, StagesAreReparseable) {
+  // The printed output of every stage parses back to an equivalent
+  // program (the "archives of expertise" must stay legible AND valid).
+  Program s1 = tf::tree1_motif().apply(Program::parse(kUserEval));
+  Program s2 = tf::rand_motif().apply(s1);
+  Program s3 = tf::server_motif().transformed(s2);
+  for (const Program* p : {&s1, &s2, &s3}) {
+    Program back = Program::parse(p->to_source());
+    EXPECT_TRUE(back.alpha_equivalent(*p)) << p->to_source();
+  }
+}
+
+TEST(Rand, AnnotatedTypesDiscovered) {
+  Program a = Program::parse(
+      "p(X) :- q(X)@random, r(X)@random, s(X)@4, q(X).\n"
+      "q(_).\nr(_).\ns(_).");
+  auto keys = tf::annotated_random_types(a);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], (t::ProcKey{"q", 1}));
+  EXPECT_EQ(keys[1], (t::ProcKey{"r", 1}));
+}
+
+TEST(Rand, NoAnnotationsNoServerDef) {
+  Program a = Program::parse("p(X) :- q(X).\nq(_).");
+  Program out = tf::rand_motif().apply(a);
+  EXPECT_TRUE(out.alpha_equivalent(a));
+}
+
+TEST(Rand, EntryTypesGetServerRules) {
+  Program a = Program::parse("p(X) :- q(X)@random.\nq(_).");
+  Program out = tf::rand_motif({t::ProcKey{"p", 1}}).apply(a);
+  auto rules = out.rules_for({"server", 1});
+  // q/1 (annotated), p/1 (entry), halt.
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_TRUE(rules[0].head.arg(0).head().functor() == "q");
+  EXPECT_TRUE(rules[1].head.arg(0).head().functor() == "p");
+  EXPECT_TRUE(rules[2].head.arg(0).head().functor() == "halt");
+}
+
+TEST(Rand, TwoAnnotationsInOneClauseGetDistinctVars) {
+  Program a = Program::parse("p :- q@random, r@random.\nq.\nr.");
+  Program out = tf::rand_motif().apply(a);
+  const auto& body = out.clauses()[0].body;
+  ASSERT_EQ(body.size(), 6u);
+  // nodes(N), rand_num(N,O), send(O,q), nodes(N1), rand_num(N1,O1), send(O1,r)
+  EXPECT_FALSE(body[0].arg(0).same_node(body[3].arg(0)));
+  EXPECT_FALSE(body[1].arg(1).same_node(body[4].arg(1)));
+  // Re-parse must preserve distinctness (names differ).
+  Program back = Program::parse(out.to_source());
+  const auto& body2 = back.clauses()[0].body;
+  EXPECT_FALSE(body2[0].arg(0).same_node(body2[3].arg(0)));
+}
+
+TEST(Server, NeedsDtClosure) {
+  Program a = Program::parse(
+      "top(X) :- mid(X).\n"
+      "mid(X) :- nodes(N), use(X,N).\n"
+      "use(_,_).\n"
+      "pure(X) :- use(X,1).");
+  auto s = tf::needs_dt(a);
+  EXPECT_TRUE(s.count({"mid", 1}));
+  EXPECT_TRUE(s.count({"top", 1}));
+  EXPECT_FALSE(s.count({"use", 2}));
+  EXPECT_FALSE(s.count({"pure", 1}));
+}
+
+TEST(Server, HaltRewrittenToBroadcast) {
+  Program a = Program::parse("stop :- halt.");
+  Program out = tf::server_motif().transformed(a);
+  ASSERT_EQ(out.clauses()[0].body.size(), 1u);
+  const auto& g = out.clauses()[0].body[0];
+  EXPECT_EQ(g.functor(), "send_all");
+  EXPECT_EQ(g.arg(0).functor(), "halt");
+  // Head gained the DT argument.
+  EXPECT_EQ(out.clauses()[0].head.arity(), 1u);
+}
+
+TEST(Server, AnnotatedCallKeepsPlacement) {
+  Program a = Program::parse(
+      "go :- worker(1)@3.\n"
+      "worker(X) :- send(X, hello).");
+  Program out = tf::server_motif().transformed(a);
+  const auto& g = out.clauses()[0].body[0];
+  EXPECT_EQ(g.functor(), "@");
+  EXPECT_EQ(g.arg(0).functor(), "worker");
+  EXPECT_EQ(g.arg(0).arity(), 2u);  // DT appended inside the annotation
+  EXPECT_EQ(g.arg(1).int_value(), 3);
+}
+
+TEST(Server, DTNameAvoidsUserVariables) {
+  Program a = Program::parse("p(DT) :- send(1,DT).");
+  Program out = tf::server_motif().transformed(a);
+  const auto& head = out.clauses()[0].head;
+  ASSERT_EQ(head.arity(), 2u);
+  EXPECT_EQ(head.arg(1).var_name(), "DT1");
+  // Re-parse keeps the two variables distinct.
+  Program back = Program::parse(out.to_source());
+  const auto& h2 = back.clauses()[0].head;
+  EXPECT_FALSE(h2.arg(0).same_node(h2.arg(1)));
+}
+
+TEST(Server, LibraryDefinesCreateBootStartServers) {
+  Program lib = tf::server_library();
+  EXPECT_TRUE(lib.defines({"create", 2}));
+  EXPECT_TRUE(lib.defines({"start_servers", 4}));
+  EXPECT_TRUE(lib.defines({"boot", 2}));
+}
+
+TEST(Driver, TerminatingDriverShape) {
+  Program d = tf::terminating_driver("go", "reduce");
+  EXPECT_TRUE(d.alpha_equivalent(Program::parse(
+      "go(T,V) :- reduce(T,V), go_wait(V).\n"
+      "go_wait(V) :- data(V) | halt.")));
+}

@@ -1,0 +1,164 @@
+// The short-circuit termination transformation (Section 3.3's sketched
+// extension): structural checks and end-to-end runs where halt fires
+// exactly when the application has quiesced.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "interp/interp.hpp"
+#include "term/parser.hpp"
+#include "transform/motif.hpp"
+#include "transform/rand.hpp"
+#include "transform/server.hpp"
+#include "transform/terminate.hpp"
+
+namespace tf = motif::transform;
+namespace in = motif::interp;
+namespace t = motif::term;
+using t::ProcKey;
+using t::Program;
+
+namespace {
+in::InterpOptions nodes(std::uint32_t n) {
+  in::InterpOptions o;
+  o.nodes = n;
+  o.workers = 2;
+  return o;
+}
+
+std::string sum_tree(int leaves) {
+  std::function<std::string(int)> build = [&](int k) -> std::string {
+    if (k == 1) return "leaf(1)";
+    return "tree('+'," + build(k / 2) + "," + build(k - k / 2) + ")";
+  };
+  return build(leaves);
+}
+}  // namespace
+
+TEST(TerminateTransform, ThreadsCircuitThroughCalls) {
+  Program a = Program::parse("p(X) :- q(X), r(X).\nq(_).\nr(_).");
+  Program out = tf::terminate_motif({"p", 1}).transformed(a);
+  // p/1 -> p/3; its body goals q,r each get a segment.
+  auto rules = out.rules_for({"p", 3});
+  ASSERT_EQ(rules.size(), 1u);
+  const auto& body = rules[0].body;
+  ASSERT_EQ(body.size(), 2u);
+  EXPECT_EQ(body[0].arity(), 3u);
+  EXPECT_EQ(body[1].arity(), 3u);
+  // Chaining: q's right segment is r's left; ends tie to the head pair.
+  const auto& head = rules[0].head;
+  EXPECT_TRUE(body[0].arg(1).same_node(head.arg(1)));   // Cl
+  EXPECT_TRUE(body[0].arg(2).same_node(body[1].arg(1)));  // middle
+  EXPECT_TRUE(body[1].arg(2).same_node(head.arg(2)));   // Cr
+}
+
+TEST(TerminateTransform, EmptyBodyShortsSegment) {
+  Program a = Program::parse("p(1).");
+  Program out = tf::terminate_motif({"p", 1}).transformed(a);
+  auto rules = out.rules_for({"p", 3});
+  ASSERT_EQ(rules.size(), 1u);
+  ASSERT_EQ(rules[0].body.size(), 1u);
+  EXPECT_EQ(rules[0].body[0].functor(), "tw_short");
+}
+
+TEST(TerminateTransform, AssignmentsWrappedWithValueJoin) {
+  Program a = Program::parse("p(X,Y) :- X := done, Y is 1 + 2.");
+  Program out = tf::terminate_motif({"p", 2}).transformed(a);
+  auto rules = out.rules_for({"p", 4});
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].body[0].functor(), "tw_assign");
+  EXPECT_EQ(rules[0].body[1].functor(), "tw_is");
+}
+
+TEST(TerminateTransform, PlacementAnnotationPreserved) {
+  Program a = Program::parse("p(X) :- q(X)@random.\nq(_).");
+  Program out = tf::terminate_motif({"p", 1}).transformed(a);
+  auto rules = out.rules_for({"p", 3});
+  const auto& g = rules[0].body[0];
+  EXPECT_EQ(g.functor(), "@");
+  EXPECT_EQ(g.arg(0).arity(), 3u);  // circuit rides inside the annotation
+}
+
+TEST(TerminateTransform, GeneratesEntryWrapper) {
+  Program a = Program::parse("p(X,Y) :- Y := X.");
+  Program out = tf::terminate_motif({"p", 2}).transformed(a);
+  ASSERT_TRUE(out.defines({"p_tw", 2}));
+  auto rules = out.rules_for({"p_tw", 2});
+  EXPECT_EQ(rules[0].body[0].functor(), "p");
+  EXPECT_EQ(rules[0].body[0].arity(), 4u);
+  EXPECT_EQ(rules[0].body[0].arg(2).functor(), "closed");
+  EXPECT_EQ(rules[0].body[1].functor(), "tw_watch");
+}
+
+TEST(TerminateRun, TreeReductionHaltsWithBoundValue) {
+  Program user = Program::parse(
+      "eval('+',L,R,Value) :- Value is L + R.\n"
+      "eval('*',L,R,Value) :- Value is L * R.\n");
+  Program full = tf::tree_reduce1_terminating_motif().apply(user);
+  in::Interp interp(full, nodes(4));
+  auto [goal, r] = interp.run_query(
+      "create(4, reduce_tw(" + sum_tree(64) + ",Value))");
+  // No stuck servers: halt fired; and the value must have been bound
+  // BEFORE the circuit closed (tw_is joins on the computed value).
+  EXPECT_FALSE(r.deadlocked())
+      << (r.stuck_goals.empty() ? "-" : r.stuck_goals[0]);
+  EXPECT_EQ(goal.arg(1).arg(1).int_value(), 64);
+}
+
+TEST(TerminateRun, PaperTreeValue24) {
+  Program user = Program::parse(
+      "eval('+',L,R,Value) :- Value is L + R.\n"
+      "eval('*',L,R,Value) :- Value is L * R.\n");
+  Program full = tf::tree_reduce1_terminating_motif().apply(user);
+  in::Interp interp(full, nodes(2));
+  auto [goal, r] = interp.run_query(
+      "create(2, reduce_tw(tree('*',tree('*',leaf(3),leaf(2)),"
+      "tree('+',leaf(3),leaf(1))),Value))");
+  EXPECT_EQ(goal.arg(1).arg(1).int_value(), 24);
+  EXPECT_FALSE(r.deadlocked());
+}
+
+TEST(TerminateRun, SideEffectOnlyApplicationStillTerminates) {
+  // No result variable at all: data-driven detection has nothing to wait
+  // on, but the circuit still detects global quiescence. The app spawns a
+  // tree of processes that just count work.
+  const char* kApp = R"(
+    spray(0).
+    spray(N) :- N > 0 |
+        N1 is N - 1,
+        spray(N1)@random,
+        spray(N1)@random.
+  )";
+  Program transformed =
+      tf::compose_all(
+          {tf::server_motif(),
+           tf::rand_motif({ProcKey{"spray_tw", 1}}),
+           tf::terminate_motif({"spray", 1})})
+          .apply(Program::parse(kApp));
+  in::Interp interp(transformed, nodes(4));
+  auto [goal, r] = interp.run_query("create(4, spray_tw(6))");
+  // All 4 servers received halt and stopped: nothing is suspended.
+  EXPECT_FALSE(r.deadlocked())
+      << (r.stuck_goals.empty() ? "-" : r.stuck_goals[0]);
+  EXPECT_GE(r.reductions, (1u << 6));
+}
+
+TEST(TerminateRun, WithoutTerminateSameAppLeavesServersWaiting) {
+  // Control: the identical pipeline minus Terminate leaves the servers
+  // suspended forever (the paper: Random "does not provide for
+  // termination detection").
+  const char* kApp = R"(
+    spray(0).
+    spray(N) :- N > 0 |
+        N1 is N - 1,
+        spray(N1)@random,
+        spray(N1)@random.
+  )";
+  Program transformed =
+      tf::compose_all({tf::server_motif(),
+                       tf::rand_motif({ProcKey{"spray", 1}})})
+          .apply(Program::parse(kApp));
+  in::Interp interp(transformed, nodes(4));
+  auto [goal, r] = interp.run_query("create(4, spray(6))");
+  EXPECT_EQ(r.still_suspended, 4u);  // the four server loops
+}

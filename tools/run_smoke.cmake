@@ -1,0 +1,22 @@
+# Drives motifsh with smoke_script.txt and checks the Figure 5 pipeline
+# computes 24 without deadlock.
+execute_process(COMMAND ${SHELL}
+                INPUT_FILE ${SCRIPT}
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "motifsh exited with ${rc}\n${out}\n${err}")
+endif()
+string(FIND "${out}" ",24))" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "expected Value=24 in output:\n${out}")
+endif()
+string(FIND "${out}" "DEADLOCK" dpos)
+if(NOT dpos EQUAL -1)
+  message(FATAL_ERROR "pipeline deadlocked:\n${out}")
+endif()
+string(FIND "${out}" "reduce/3" rpos)
+if(rpos EQUAL -1)
+  message(FATAL_ERROR "profile should show reduce/3 commits:\n${out}")
+endif()
