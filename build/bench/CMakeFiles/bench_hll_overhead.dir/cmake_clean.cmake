@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hll_overhead.dir/bench_hll_overhead.cpp.o"
+  "CMakeFiles/bench_hll_overhead.dir/bench_hll_overhead.cpp.o.d"
+  "bench_hll_overhead"
+  "bench_hll_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hll_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motif_suite.dir/bench_motif_suite.cpp.o"
+  "CMakeFiles/bench_motif_suite.dir/bench_motif_suite.cpp.o.d"
+  "bench_motif_suite"
+  "bench_motif_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motif_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

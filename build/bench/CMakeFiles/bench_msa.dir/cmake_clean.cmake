@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msa.dir/bench_msa.cpp.o"
+  "CMakeFiles/bench_msa.dir/bench_msa.cpp.o.d"
+  "bench_msa"
+  "bench_msa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_pipeline.dir/msa_pipeline.cpp.o"
+  "CMakeFiles/msa_pipeline.dir/msa_pipeline.cpp.o.d"
+  "msa_pipeline"
+  "msa_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nqueens_search.dir/nqueens_search.cpp.o"
+  "CMakeFiles/nqueens_search.dir/nqueens_search.cpp.o.d"
+  "nqueens_search"
+  "nqueens_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nqueens_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strand_motifs.dir/strand_motifs.cpp.o"
+  "CMakeFiles/strand_motifs.dir/strand_motifs.cpp.o.d"
+  "strand_motifs"
+  "strand_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strand_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_align.dir/msa.cpp.o"
+  "CMakeFiles/motif_align.dir/msa.cpp.o.d"
+  "CMakeFiles/motif_align.dir/nw.cpp.o"
+  "CMakeFiles/motif_align.dir/nw.cpp.o.d"
+  "CMakeFiles/motif_align.dir/phylo.cpp.o"
+  "CMakeFiles/motif_align.dir/phylo.cpp.o.d"
+  "CMakeFiles/motif_align.dir/profile.cpp.o"
+  "CMakeFiles/motif_align.dir/profile.cpp.o.d"
+  "CMakeFiles/motif_align.dir/sequence.cpp.o"
+  "CMakeFiles/motif_align.dir/sequence.cpp.o.d"
+  "libmotif_align.a"
+  "libmotif_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_interp.dir/arith.cpp.o"
+  "CMakeFiles/motif_interp.dir/arith.cpp.o.d"
+  "CMakeFiles/motif_interp.dir/interp.cpp.o"
+  "CMakeFiles/motif_interp.dir/interp.cpp.o.d"
+  "CMakeFiles/motif_interp.dir/stdlib.cpp.o"
+  "CMakeFiles/motif_interp.dir/stdlib.cpp.o.d"
+  "libmotif_interp.a"
+  "libmotif_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

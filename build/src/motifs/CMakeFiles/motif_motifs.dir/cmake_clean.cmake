@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_motifs.dir/graph.cpp.o"
+  "CMakeFiles/motif_motifs.dir/graph.cpp.o.d"
+  "CMakeFiles/motif_motifs.dir/grid.cpp.o"
+  "CMakeFiles/motif_motifs.dir/grid.cpp.o.d"
+  "libmotif_motifs.a"
+  "libmotif_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmotif_motifs.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_runtime.dir/machine.cpp.o"
+  "CMakeFiles/motif_runtime.dir/machine.cpp.o.d"
+  "CMakeFiles/motif_runtime.dir/metrics.cpp.o"
+  "CMakeFiles/motif_runtime.dir/metrics.cpp.o.d"
+  "CMakeFiles/motif_runtime.dir/rng.cpp.o"
+  "CMakeFiles/motif_runtime.dir/rng.cpp.o.d"
+  "libmotif_runtime.a"
+  "libmotif_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/term/ops.cpp" "src/term/CMakeFiles/motif_term.dir/ops.cpp.o" "gcc" "src/term/CMakeFiles/motif_term.dir/ops.cpp.o.d"
+  "/root/repo/src/term/parser.cpp" "src/term/CMakeFiles/motif_term.dir/parser.cpp.o" "gcc" "src/term/CMakeFiles/motif_term.dir/parser.cpp.o.d"
+  "/root/repo/src/term/program.cpp" "src/term/CMakeFiles/motif_term.dir/program.cpp.o" "gcc" "src/term/CMakeFiles/motif_term.dir/program.cpp.o.d"
+  "/root/repo/src/term/subst.cpp" "src/term/CMakeFiles/motif_term.dir/subst.cpp.o" "gcc" "src/term/CMakeFiles/motif_term.dir/subst.cpp.o.d"
+  "/root/repo/src/term/term.cpp" "src/term/CMakeFiles/motif_term.dir/term.cpp.o" "gcc" "src/term/CMakeFiles/motif_term.dir/term.cpp.o.d"
+  "/root/repo/src/term/writer.cpp" "src/term/CMakeFiles/motif_term.dir/writer.cpp.o" "gcc" "src/term/CMakeFiles/motif_term.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

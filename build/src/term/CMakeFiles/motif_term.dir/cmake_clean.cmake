@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_term.dir/ops.cpp.o"
+  "CMakeFiles/motif_term.dir/ops.cpp.o.d"
+  "CMakeFiles/motif_term.dir/parser.cpp.o"
+  "CMakeFiles/motif_term.dir/parser.cpp.o.d"
+  "CMakeFiles/motif_term.dir/program.cpp.o"
+  "CMakeFiles/motif_term.dir/program.cpp.o.d"
+  "CMakeFiles/motif_term.dir/subst.cpp.o"
+  "CMakeFiles/motif_term.dir/subst.cpp.o.d"
+  "CMakeFiles/motif_term.dir/term.cpp.o"
+  "CMakeFiles/motif_term.dir/term.cpp.o.d"
+  "CMakeFiles/motif_term.dir/writer.cpp.o"
+  "CMakeFiles/motif_term.dir/writer.cpp.o.d"
+  "libmotif_term.a"
+  "libmotif_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/motif.cpp" "src/transform/CMakeFiles/motif_transform.dir/motif.cpp.o" "gcc" "src/transform/CMakeFiles/motif_transform.dir/motif.cpp.o.d"
+  "/root/repo/src/transform/rand.cpp" "src/transform/CMakeFiles/motif_transform.dir/rand.cpp.o" "gcc" "src/transform/CMakeFiles/motif_transform.dir/rand.cpp.o.d"
+  "/root/repo/src/transform/sched.cpp" "src/transform/CMakeFiles/motif_transform.dir/sched.cpp.o" "gcc" "src/transform/CMakeFiles/motif_transform.dir/sched.cpp.o.d"
+  "/root/repo/src/transform/server.cpp" "src/transform/CMakeFiles/motif_transform.dir/server.cpp.o" "gcc" "src/transform/CMakeFiles/motif_transform.dir/server.cpp.o.d"
+  "/root/repo/src/transform/terminate.cpp" "src/transform/CMakeFiles/motif_transform.dir/terminate.cpp.o" "gcc" "src/transform/CMakeFiles/motif_transform.dir/terminate.cpp.o.d"
+  "/root/repo/src/transform/tree.cpp" "src/transform/CMakeFiles/motif_transform.dir/tree.cpp.o" "gcc" "src/transform/CMakeFiles/motif_transform.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/term/CMakeFiles/motif_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

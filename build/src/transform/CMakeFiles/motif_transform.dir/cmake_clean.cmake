@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_transform.dir/motif.cpp.o"
+  "CMakeFiles/motif_transform.dir/motif.cpp.o.d"
+  "CMakeFiles/motif_transform.dir/rand.cpp.o"
+  "CMakeFiles/motif_transform.dir/rand.cpp.o.d"
+  "CMakeFiles/motif_transform.dir/sched.cpp.o"
+  "CMakeFiles/motif_transform.dir/sched.cpp.o.d"
+  "CMakeFiles/motif_transform.dir/server.cpp.o"
+  "CMakeFiles/motif_transform.dir/server.cpp.o.d"
+  "CMakeFiles/motif_transform.dir/terminate.cpp.o"
+  "CMakeFiles/motif_transform.dir/terminate.cpp.o.d"
+  "CMakeFiles/motif_transform.dir/tree.cpp.o"
+  "CMakeFiles/motif_transform.dir/tree.cpp.o.d"
+  "libmotif_transform.a"
+  "libmotif_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

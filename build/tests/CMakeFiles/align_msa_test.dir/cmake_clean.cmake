@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_msa_test.dir/align_msa_test.cpp.o"
+  "CMakeFiles/align_msa_test.dir/align_msa_test.cpp.o.d"
+  "align_msa_test"
+  "align_msa_test.pdb"
+  "align_msa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_msa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_profile_test.dir/align_profile_test.cpp.o"
+  "CMakeFiles/align_profile_test.dir/align_profile_test.cpp.o.d"
+  "align_profile_test"
+  "align_profile_test.pdb"
+  "align_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coverage_gaps_test.cpp" "tests/CMakeFiles/coverage_gaps_test.dir/coverage_gaps_test.cpp.o" "gcc" "tests/CMakeFiles/coverage_gaps_test.dir/coverage_gaps_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/motifs/CMakeFiles/motif_motifs.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/motif_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/motif_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

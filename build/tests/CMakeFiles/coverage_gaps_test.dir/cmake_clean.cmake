@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_gaps_test.dir/coverage_gaps_test.cpp.o"
+  "CMakeFiles/coverage_gaps_test.dir/coverage_gaps_test.cpp.o.d"
+  "coverage_gaps_test"
+  "coverage_gaps_test.pdb"
+  "coverage_gaps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_gaps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

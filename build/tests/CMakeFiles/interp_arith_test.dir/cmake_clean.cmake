@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_arith_test.dir/interp_arith_test.cpp.o"
+  "CMakeFiles/interp_arith_test.dir/interp_arith_test.cpp.o.d"
+  "interp_arith_test"
+  "interp_arith_test.pdb"
+  "interp_arith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_arith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_core_test.dir/interp_core_test.cpp.o"
+  "CMakeFiles/interp_core_test.dir/interp_core_test.cpp.o.d"
+  "interp_core_test"
+  "interp_core_test.pdb"
+  "interp_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

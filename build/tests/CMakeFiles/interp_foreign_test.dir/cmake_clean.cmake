@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_foreign_test.dir/interp_foreign_test.cpp.o"
+  "CMakeFiles/interp_foreign_test.dir/interp_foreign_test.cpp.o.d"
+  "interp_foreign_test"
+  "interp_foreign_test.pdb"
+  "interp_foreign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_foreign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_stdlib_test.dir/interp_stdlib_test.cpp.o"
+  "CMakeFiles/interp_stdlib_test.dir/interp_stdlib_test.cpp.o.d"
+  "interp_stdlib_test"
+  "interp_stdlib_test.pdb"
+  "interp_stdlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_stdlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifs_dnc_search_test.dir/motifs_dnc_search_test.cpp.o"
+  "CMakeFiles/motifs_dnc_search_test.dir/motifs_dnc_search_test.cpp.o.d"
+  "motifs_dnc_search_test"
+  "motifs_dnc_search_test.pdb"
+  "motifs_dnc_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifs_dnc_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifs_failure_test.dir/motifs_failure_test.cpp.o"
+  "CMakeFiles/motifs_failure_test.dir/motifs_failure_test.cpp.o.d"
+  "motifs_failure_test"
+  "motifs_failure_test.pdb"
+  "motifs_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifs_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

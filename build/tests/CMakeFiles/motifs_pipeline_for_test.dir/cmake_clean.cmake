@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifs_pipeline_for_test.dir/motifs_pipeline_for_test.cpp.o"
+  "CMakeFiles/motifs_pipeline_for_test.dir/motifs_pipeline_for_test.cpp.o.d"
+  "motifs_pipeline_for_test"
+  "motifs_pipeline_for_test.pdb"
+  "motifs_pipeline_for_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifs_pipeline_for_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

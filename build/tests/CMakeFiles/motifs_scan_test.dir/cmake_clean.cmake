@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifs_scan_test.dir/motifs_scan_test.cpp.o"
+  "CMakeFiles/motifs_scan_test.dir/motifs_scan_test.cpp.o.d"
+  "motifs_scan_test"
+  "motifs_scan_test.pdb"
+  "motifs_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifs_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

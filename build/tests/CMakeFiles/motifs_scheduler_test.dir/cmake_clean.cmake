@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifs_scheduler_test.dir/motifs_scheduler_test.cpp.o"
+  "CMakeFiles/motifs_scheduler_test.dir/motifs_scheduler_test.cpp.o.d"
+  "motifs_scheduler_test"
+  "motifs_scheduler_test.pdb"
+  "motifs_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifs_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifs_server_test.dir/motifs_server_test.cpp.o"
+  "CMakeFiles/motifs_server_test.dir/motifs_server_test.cpp.o.d"
+  "motifs_server_test"
+  "motifs_server_test.pdb"
+  "motifs_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifs_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

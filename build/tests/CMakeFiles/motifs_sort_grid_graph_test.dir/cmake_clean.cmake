@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifs_sort_grid_graph_test.dir/motifs_sort_grid_graph_test.cpp.o"
+  "CMakeFiles/motifs_sort_grid_graph_test.dir/motifs_sort_grid_graph_test.cpp.o.d"
+  "motifs_sort_grid_graph_test"
+  "motifs_sort_grid_graph_test.pdb"
+  "motifs_sort_grid_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifs_sort_grid_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

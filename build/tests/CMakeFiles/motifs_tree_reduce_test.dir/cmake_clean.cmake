@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifs_tree_reduce_test.dir/motifs_tree_reduce_test.cpp.o"
+  "CMakeFiles/motifs_tree_reduce_test.dir/motifs_tree_reduce_test.cpp.o.d"
+  "motifs_tree_reduce_test"
+  "motifs_tree_reduce_test.pdb"
+  "motifs_tree_reduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifs_tree_reduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifs_wavefront_test.dir/motifs_wavefront_test.cpp.o"
+  "CMakeFiles/motifs_wavefront_test.dir/motifs_wavefront_test.cpp.o.d"
+  "motifs_wavefront_test"
+  "motifs_wavefront_test.pdb"
+  "motifs_wavefront_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifs_wavefront_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_metrics_test.dir/runtime_metrics_test.cpp.o"
+  "CMakeFiles/runtime_metrics_test.dir/runtime_metrics_test.cpp.o.d"
+  "runtime_metrics_test"
+  "runtime_metrics_test.pdb"
+  "runtime_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

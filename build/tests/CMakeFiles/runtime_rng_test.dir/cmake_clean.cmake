@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_rng_test.dir/runtime_rng_test.cpp.o"
+  "CMakeFiles/runtime_rng_test.dir/runtime_rng_test.cpp.o.d"
+  "runtime_rng_test"
+  "runtime_rng_test.pdb"
+  "runtime_rng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

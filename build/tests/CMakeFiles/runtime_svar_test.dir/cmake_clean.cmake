@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_svar_test.dir/runtime_svar_test.cpp.o"
+  "CMakeFiles/runtime_svar_test.dir/runtime_svar_test.cpp.o.d"
+  "runtime_svar_test"
+  "runtime_svar_test.pdb"
+  "runtime_svar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_svar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

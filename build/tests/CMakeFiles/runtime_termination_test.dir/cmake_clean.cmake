@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_termination_test.dir/runtime_termination_test.cpp.o"
+  "CMakeFiles/runtime_termination_test.dir/runtime_termination_test.cpp.o.d"
+  "runtime_termination_test"
+  "runtime_termination_test.pdb"
+  "runtime_termination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_termination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

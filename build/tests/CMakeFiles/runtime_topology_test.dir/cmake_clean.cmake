@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_topology_test.dir/runtime_topology_test.cpp.o"
+  "CMakeFiles/runtime_topology_test.dir/runtime_topology_test.cpp.o.d"
+  "runtime_topology_test"
+  "runtime_topology_test.pdb"
+  "runtime_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

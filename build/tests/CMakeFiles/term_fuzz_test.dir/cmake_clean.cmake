@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_fuzz_test.dir/term_fuzz_test.cpp.o"
+  "CMakeFiles/term_fuzz_test.dir/term_fuzz_test.cpp.o.d"
+  "term_fuzz_test"
+  "term_fuzz_test.pdb"
+  "term_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

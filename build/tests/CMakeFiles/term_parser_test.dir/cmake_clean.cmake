@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_parser_test.dir/term_parser_test.cpp.o"
+  "CMakeFiles/term_parser_test.dir/term_parser_test.cpp.o.d"
+  "term_parser_test"
+  "term_parser_test.pdb"
+  "term_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_program_test.dir/term_program_test.cpp.o"
+  "CMakeFiles/term_program_test.dir/term_program_test.cpp.o.d"
+  "term_program_test"
+  "term_program_test.pdb"
+  "term_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_subst_test.dir/term_subst_test.cpp.o"
+  "CMakeFiles/term_subst_test.dir/term_subst_test.cpp.o.d"
+  "term_subst_test"
+  "term_subst_test.pdb"
+  "term_subst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_subst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_writer_test.dir/term_writer_test.cpp.o"
+  "CMakeFiles/term_writer_test.dir/term_writer_test.cpp.o.d"
+  "term_writer_test"
+  "term_writer_test.pdb"
+  "term_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

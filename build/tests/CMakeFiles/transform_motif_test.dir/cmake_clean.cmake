@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_motif_test.dir/transform_motif_test.cpp.o"
+  "CMakeFiles/transform_motif_test.dir/transform_motif_test.cpp.o.d"
+  "transform_motif_test"
+  "transform_motif_test.pdb"
+  "transform_motif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_motif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

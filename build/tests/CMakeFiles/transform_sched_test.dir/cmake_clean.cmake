@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_sched_test.dir/transform_sched_test.cpp.o"
+  "CMakeFiles/transform_sched_test.dir/transform_sched_test.cpp.o.d"
+  "transform_sched_test"
+  "transform_sched_test.pdb"
+  "transform_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifsh.dir/motifsh.cpp.o"
+  "CMakeFiles/motifsh.dir/motifsh.cpp.o.d"
+  "motifsh"
+  "motifsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

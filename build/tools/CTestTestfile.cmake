@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(motifsh_pipeline "/usr/bin/cmake" "-DSHELL=/root/repo/build/tools/motifsh" "-DSCRIPT=/root/repo/tools/smoke_script.txt" "-P" "/root/repo/tools/run_smoke.cmake")
+set_tests_properties(motifsh_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
