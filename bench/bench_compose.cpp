@@ -4,6 +4,8 @@
 // paper's expression tree and larger trees.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <functional>
 #include <string>
 
@@ -37,6 +39,7 @@ void BM_ComposeTreeReduce1(benchmark::State& state) {
     Program out = tf::tree_reduce1_motif().apply(user);
     benchmark::DoNotOptimize(out);
   }
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_ComposeTreeReduce2(benchmark::State& state) {
@@ -45,6 +48,7 @@ void BM_ComposeTreeReduce2(benchmark::State& state) {
     Program out = tf::tree_reduce2_full_motif().apply(user);
     benchmark::DoNotOptimize(out);
   }
+  MOTIF_BENCH_REPORT(state);
 }
 
 void run_composed(benchmark::State& state, bool tr2) {
@@ -73,6 +77,7 @@ void run_composed(benchmark::State& state, bool tr2) {
 
 void BM_RunComposedTR1(benchmark::State& state) {
   run_composed(state, false);
+  MOTIF_BENCH_REPORT(state);
 }
 void BM_RunComposedTR2(benchmark::State& state) { run_composed(state, true); }
 

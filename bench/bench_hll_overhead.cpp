@@ -15,11 +15,17 @@
 // Expected shape: at tiny grain the high-level coordination dominates
 // (large ratio); as grain grows the ratio falls toward 1 — the paper's
 // justification for implementing motifs in a high-level language.
+//
+// This bench doubles as the tracer's zero-overhead check: built with
+// -DMOTIF_TRACING=OFF its native path contains no tracer hooks at all
+// (compare BM_NativeTreeReduce against a MOTIF_TRACING=ON build with
+// tracing inactive — the JSONL lines carry the numbers).
 #include <benchmark/benchmark.h>
 
 #include <functional>
 #include <string>
 
+#include "bench_report.hpp"
 #include "interp/interp.hpp"
 #include "motifs/tree.hpp"
 #include "motifs/tree_reduce.hpp"
@@ -55,6 +61,9 @@ void BM_NativeTreeReduce(benchmark::State& state) {
     if (v != static_cast<long>(kLeaves)) state.SkipWithError("bad sum");
   }
   state.counters["grain"] = static_cast<double>(grain);
+  state.counters["tracing_compiled"] =
+      rt::Machine::trace_compiled ? 1.0 : 0.0;
+  motif::bench::report_case(state, "bench_hll_overhead", "native");
 }
 
 std::string interp_tree(std::size_t leaves) {
@@ -91,6 +100,7 @@ void BM_InterpTreeReduce(benchmark::State& state) {
     benchmark::DoNotOptimize(r.reductions);
   }
   state.counters["grain"] = static_cast<double>(grain);
+  motif::bench::report_case(state, "bench_hll_overhead", "interp");
 }
 
 void args(benchmark::internal::Benchmark* b) {

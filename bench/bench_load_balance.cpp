@@ -9,6 +9,8 @@
 // many processors are imbalanced.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "motifs/tree.hpp"
 #include "motifs/tree_reduce.hpp"
 
@@ -48,10 +50,12 @@ void run_case(benchmark::State& state, m::MapPolicy policy) {
 
 void BM_RandomMapping(benchmark::State& state) {
   run_case(state, m::MapPolicy::Random);
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_RoundRobinMapping(benchmark::State& state) {
   run_case(state, m::MapPolicy::RoundRobin);
+  MOTIF_BENCH_REPORT(state);
 }
 
 void args(benchmark::internal::Benchmark* b) {

@@ -17,11 +17,24 @@
 //
 // Expected shape: TR1 peaks grow with the tree and shrink with more
 // processors; TR2 stays at <= processors regardless of tree size.
+//
+// Tracing: set MOTIF_TRACE_DIR=<dir> to record every case and write a
+// Chrome-trace JSON per case into <dir>; on a TR2 timeline each node
+// track shows at most one concurrent eval span (the Section 3.5 bound),
+// while TR1 tracks pile evals up. The trace path and the trace-derived
+// max-concurrent-evals ride along in the bench's JSONL report line.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "bench_report.hpp"
 #include "motifs/tree.hpp"
 #include "motifs/tree_reduce.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
 
 namespace m = motif;
 namespace rt = motif::rt;
@@ -38,38 +51,64 @@ long slow_add(const char&, const long& a, const long& b) {
 using LTree = m::Tree<long, char>;
 
 template <class F>
-void run_case(benchmark::State& state, F reduce) {
+void run_case(benchmark::State& state, const char* case_name, F reduce) {
   const auto leaves = static_cast<std::size_t>(state.range(0));
   const auto procs = static_cast<std::uint32_t>(state.range(1));
   auto tree = m::balanced_tree<long, char>(
       leaves, [](std::size_t) { return 1L; }, '+');
+  const char* trace_dir = std::getenv("MOTIF_TRACE_DIR");
   rt::eval_working_bytes().store(kWorkingSet);
   std::int64_t peak_bytes = 0, peak_evals = 0;
+  std::string trace_path;
+  std::uint64_t trace_max_evals = 0;
   for (auto _ : state) {
     rt::live_bytes().reset();
     rt::active_evals().reset();
-    rt::Machine mach({.nodes = procs, .workers = 2, .seed = 99});
+    rt::Machine mach({.nodes = procs, .workers = 2, .seed = 99,
+                      .trace_capacity = 1u << 16});
+    if (trace_dir != nullptr) mach.start_trace();
     long v = reduce(mach, tree);
     benchmark::DoNotOptimize(v);
     if (v != static_cast<long>(leaves)) state.SkipWithError("wrong sum");
     peak_bytes = rt::live_bytes().peak();
     peak_evals = rt::active_evals().peak();
+    if (trace_dir != nullptr) {
+      auto log = mach.drain_trace();
+      trace_max_evals = 0;
+      for (const auto& track : log.tracks) {
+        trace_max_evals = std::max(
+            trace_max_evals,
+            rt::max_concurrent(track, rt::TraceEventKind::EvalBegin,
+                               rt::TraceEventKind::EvalEnd));
+      }
+      trace_path = std::string(trace_dir) + "/bench_memory_" + case_name +
+                   "_" + std::to_string(leaves) + "x" +
+                   std::to_string(procs) + ".json";
+      std::ofstream f(trace_path);
+      rt::write_chrome_trace(log, f);
+    }
   }
   rt::eval_working_bytes().store(0);
   state.counters["peak_MiB"] =
       static_cast<double>(peak_bytes) / (1024.0 * 1024.0);
   state.counters["peak_initiated_evals"] = static_cast<double>(peak_evals);
   state.counters["procs"] = static_cast<double>(procs);
+  state.counters["leaves"] = static_cast<double>(leaves);
+  if (trace_dir != nullptr) {
+    state.counters["trace_max_concurrent_evals"] =
+        static_cast<double>(trace_max_evals);
+  }
+  motif::bench::report_case(state, "bench_memory", case_name, trace_path);
 }
 
 void BM_TR1_Memory(benchmark::State& state) {
-  run_case(state, [](rt::Machine& mach, const LTree::Ptr& t) {
+  run_case(state, "TR1", [](rt::Machine& mach, const LTree::Ptr& t) {
     return m::tree_reduce1<long, char>(mach, t, slow_add);
   });
 }
 
 void BM_TR2_Memory(benchmark::State& state) {
-  run_case(state, [](rt::Machine& mach, const LTree::Ptr& t) {
+  run_case(state, "TR2", [](rt::Machine& mach, const LTree::Ptr& t) {
     return m::tree_reduce2<long, char>(mach, t, slow_add);
   });
 }

@@ -12,6 +12,8 @@
 // the ablation approaches 2*(1-1/P).
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "motifs/tree.hpp"
 #include "motifs/tree_reduce.hpp"
 
@@ -52,10 +54,12 @@ void run_tr2(benchmark::State& state, m::LabelPolicy policy) {
 
 void BM_TR2_PaperLabels(benchmark::State& state) {
   run_tr2(state, m::LabelPolicy::Paper);
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_TR2_RandomLabels(benchmark::State& state) {
   run_tr2(state, m::LabelPolicy::IndependentRandom);
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_TR1_RemoteMessages(benchmark::State& state) {
@@ -75,6 +79,7 @@ void BM_TR1_RemoteMessages(benchmark::State& state) {
                 : 0.0;
   state.counters["remote_per_node"] =
       static_cast<double>(remote) / static_cast<double>(leaves - 1);
+  MOTIF_BENCH_REPORT(state);
 }
 
 void args(benchmark::internal::Benchmark* b) {

@@ -4,6 +4,8 @@
 // series per area over the simulated machine.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <cmath>
 #include <numeric>
 
@@ -55,6 +57,7 @@ void BM_SearchQueens(benchmark::State& state) {
     benchmark::DoNotOptimize(count);
   }
   state.counters["solutions"] = static_cast<double>(count);
+  MOTIF_BENCH_REPORT(state);
 }
 
 // ---- sorting ---------------------------------------------------------------
@@ -71,6 +74,7 @@ void BM_SortMerge(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(n));
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_SortSample(benchmark::State& state) {
@@ -85,6 +89,7 @@ void BM_SortSample(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(n));
+  MOTIF_BENCH_REPORT(state);
 }
 
 // ---- grid ------------------------------------------------------------------
@@ -103,6 +108,7 @@ void BM_GridJacobi(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(side * side * 200));
+  MOTIF_BENCH_REPORT(state);
 }
 
 // ---- divide and conquer -------------------------------------------------------
@@ -118,6 +124,7 @@ void BM_DnCFib(benchmark::State& state) {
         [](const int&, std::vector<long> rs) { return rs[0] + rs[1]; });
     benchmark::DoNotOptimize(fib);
   }
+  MOTIF_BENCH_REPORT(state);
 }
 
 // ---- graph -----------------------------------------------------------------
@@ -132,6 +139,7 @@ void BM_GraphBfs(benchmark::State& state) {
     benchmark::DoNotOptimize(d);
   }
   state.counters["edges"] = static_cast<double>(g.edge_count());
+  MOTIF_BENCH_REPORT(state);
 }
 
 // ---- scan ------------------------------------------------------------------
@@ -150,6 +158,7 @@ void BM_ScanPrefixSum(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(n));
+  MOTIF_BENCH_REPORT(state);
 }
 
 // ---- wavefront (the case-study kernel as a grid client) ---------------------
@@ -165,6 +174,7 @@ void BM_WavefrontNW(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(len * len));
+  MOTIF_BENCH_REPORT(state);
 }
 
 }  // namespace

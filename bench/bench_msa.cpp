@@ -9,6 +9,8 @@
 // answer).
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "align/align.hpp"
 #include "runtime/metrics.hpp"
 
@@ -43,12 +45,15 @@ void run_case(benchmark::State& state, al::MsaSchedule sched) {
 
 void BM_MSA_Sequential(benchmark::State& state) {
   run_case(state, al::MsaSchedule::Sequential);
+  MOTIF_BENCH_REPORT(state);
 }
 void BM_MSA_TreeReduce1(benchmark::State& state) {
   run_case(state, al::MsaSchedule::TreeReduce1);
+  MOTIF_BENCH_REPORT(state);
 }
 void BM_MSA_TreeReduce2(benchmark::State& state) {
   run_case(state, al::MsaSchedule::TreeReduce2);
+  MOTIF_BENCH_REPORT(state);
 }
 
 void args(benchmark::internal::Benchmark* b) {

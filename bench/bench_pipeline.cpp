@@ -5,6 +5,8 @@
 //   * the native channel pipeline motif (capacity 1 = the sync ack)
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <optional>
 #include <thread>
 
@@ -37,6 +39,7 @@ void BM_InterpFigure1(benchmark::State& state) {
     benchmark::DoNotOptimize(r.reductions);
   }
   state.SetItemsProcessed(state.iterations() * n);
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_StreamProducerConsumer(benchmark::State& state) {
@@ -58,6 +61,7 @@ void BM_StreamProducerConsumer(benchmark::State& state) {
     benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(state.iterations() * n);
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_ChannelPipeline(benchmark::State& state) {
@@ -74,6 +78,7 @@ void BM_ChannelPipeline(benchmark::State& state) {
     benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(state.iterations() * n);
+  MOTIF_BENCH_REPORT(state);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 // hierarchy; the advantage grows with worker count.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "motifs/scheduler.hpp"
 
 namespace m = motif;
@@ -48,6 +50,7 @@ void run_case(benchmark::State& state, std::uint32_t levels) {
 void BM_FlatManagerWorker(benchmark::State& state) { run_case(state, 1); }
 void BM_HierarchicalManagerWorker(benchmark::State& state) {
   run_case(state, 2);
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_DagDependencies(benchmark::State& state) {
@@ -67,6 +70,7 @@ void BM_DagDependencies(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(sched.run());
   }
+  MOTIF_BENCH_REPORT(state);
 }
 
 void args(benchmark::internal::Benchmark* b) {

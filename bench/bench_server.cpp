@@ -4,6 +4,8 @@
 // detector's overhead (Section 3.3).
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <atomic>
 
 #include "motifs/server.hpp"
@@ -38,6 +40,7 @@ void BM_ServerThroughput(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * handled);
   state.counters["servers"] = static_cast<double>(servers);
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_HaltLatency(benchmark::State& state) {
@@ -59,6 +62,7 @@ void BM_HaltLatency(benchmark::State& state) {
     net.start(1, 0);
     net.wait();
   }
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_ShortCircuitForkClose(benchmark::State& state) {
@@ -75,6 +79,7 @@ void BM_ShortCircuitForkClose(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(n));
+  MOTIF_BENCH_REPORT(state);
 }
 
 }  // namespace

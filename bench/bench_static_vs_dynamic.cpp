@@ -21,6 +21,8 @@
 // load-aware.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "motifs/scheduler.hpp"
 #include "motifs/tree.hpp"
 #include "motifs/tree_reduce.hpp"
@@ -105,6 +107,7 @@ void BM_Static_Uniform(benchmark::State& state) {
              return m::static_tree_reduce<Task, std::uint64_t>(mach, t, eval);
            },
            false);
+  MOTIF_BENCH_REPORT(state);
 }
 void BM_Static_HeavyTail(benchmark::State& state) {
   run_case(state,
@@ -112,6 +115,7 @@ void BM_Static_HeavyTail(benchmark::State& state) {
              return m::static_tree_reduce<Task, std::uint64_t>(mach, t, eval);
            },
            true);
+  MOTIF_BENCH_REPORT(state);
 }
 void BM_TR1_Uniform(benchmark::State& state) {
   run_case(state,
@@ -119,6 +123,7 @@ void BM_TR1_Uniform(benchmark::State& state) {
              return m::tree_reduce1<Task, std::uint64_t>(mach, t, eval);
            },
            false);
+  MOTIF_BENCH_REPORT(state);
 }
 void BM_TR1_HeavyTail(benchmark::State& state) {
   run_case(state,
@@ -126,6 +131,7 @@ void BM_TR1_HeavyTail(benchmark::State& state) {
              return m::tree_reduce1<Task, std::uint64_t>(mach, t, eval);
            },
            true);
+  MOTIF_BENCH_REPORT(state);
 }
 void BM_TR2_Uniform(benchmark::State& state) {
   run_case(state,
@@ -133,6 +139,7 @@ void BM_TR2_Uniform(benchmark::State& state) {
              return m::tree_reduce2<Task, std::uint64_t>(mach, t, eval);
            },
            false);
+  MOTIF_BENCH_REPORT(state);
 }
 void BM_TR2_HeavyTail(benchmark::State& state) {
   run_case(state,
@@ -140,6 +147,7 @@ void BM_TR2_HeavyTail(benchmark::State& state) {
              return m::tree_reduce2<Task, std::uint64_t>(mach, t, eval);
            },
            true);
+  MOTIF_BENCH_REPORT(state);
 }
 
 // The demand-driven schedule: the tree as a dependency DAG fed to the
@@ -183,9 +191,11 @@ void run_manager_worker(benchmark::State& state, bool heavy) {
 
 void BM_ManagerWorker_Uniform(benchmark::State& state) {
   run_manager_worker(state, false);
+  MOTIF_BENCH_REPORT(state);
 }
 void BM_ManagerWorker_HeavyTail(benchmark::State& state) {
   run_manager_worker(state, true);
+  MOTIF_BENCH_REPORT(state);
 }
 
 void args(benchmark::internal::Benchmark* b) {

@@ -11,6 +11,8 @@
 // message costs its routing distance.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "motifs/tree.hpp"
 #include "motifs/tree_reduce.hpp"
 
@@ -81,12 +83,14 @@ void BM_TR1_Network(benchmark::State& state) {
   run_case(state, [](rt::Machine& mach, const IntTree::Ptr& t) {
     return m::tree_reduce1<long, char>(mach, t, add);
   });
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_TR2_Network(benchmark::State& state) {
   run_case(state, [](rt::Machine& mach, const IntTree::Ptr& t) {
     return m::tree_reduce2<long, char>(mach, t, add);
   });
+  MOTIF_BENCH_REPORT(state);
 }
 
 void args(benchmark::internal::Benchmark* b) {

@@ -12,6 +12,8 @@
 // client code (what the user writes) vs generated code.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <string>
 
 #include "transform/motif.hpp"
@@ -49,6 +51,7 @@ void BM_FullMotifPipeline(benchmark::State& state) {
   state.counters["clauses_out"] = static_cast<double>(out_clauses);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(app.clauses().size()));
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_ParsePrintRoundTrip(benchmark::State& state) {
@@ -62,6 +65,7 @@ void BM_ParsePrintRoundTrip(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(src.size()));
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_CallGraphAnalysis(benchmark::State& state) {
@@ -72,6 +76,7 @@ void BM_CallGraphAnalysis(benchmark::State& state) {
     auto s = tf::needs_dt(app);
     benchmark::DoNotOptimize(s);
   }
+  MOTIF_BENCH_REPORT(state);
 }
 
 void BM_IncrementalCostAccounting(benchmark::State& state) {
@@ -90,6 +95,7 @@ void BM_IncrementalCostAccounting(benchmark::State& state) {
     state.counters["tr2_total_clauses"] =
         static_cast<double>(tr2.clauses().size());
   }
+  MOTIF_BENCH_REPORT(state);
 }
 
 }  // namespace

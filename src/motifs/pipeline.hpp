@@ -13,10 +13,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/channel.hpp"
+#include "runtime/trace.hpp"
 
 namespace motif {
 
@@ -46,6 +48,16 @@ class Pipeline {
     return *this;
   }
 
+  /// Attaches a tracer: run() registers one track per stage thread
+  /// ("pipe.source", "pipe.stage1", ..., "pipe.sink") and emits a span
+  /// per item, so stage occupancy and the capacity-1 lockstep coupling
+  /// are visible on a timeline. The tracer must outlive run(); pass
+  /// nullptr to detach. The caller starts/stops/drains it.
+  Pipeline& trace_into(rt::Tracer* t) {
+    tracer_ = t;
+    return *this;
+  }
+
   /// Runs to completion (source exhausted, all items through the sink).
   /// Returns the number of items processed.
   std::size_t run() {
@@ -59,26 +71,50 @@ class Pipeline {
       chans.push_back(std::make_unique<rt::Channel<T>>(capacity_));
     }
     std::size_t count = 0;
+    // Each stage thread is the single writer of its own trace track.
+    std::vector<std::uint32_t> tracks;
+    if (tracer_ != nullptr) {
+      tracks.push_back(tracer_->add_track("pipe.source"));
+      for (std::size_t s = 0; s < stages_.size(); ++s) {
+        tracks.push_back(
+            tracer_->add_track("pipe.stage" + std::to_string(s + 1)));
+      }
+      tracks.push_back(tracer_->add_track("pipe.sink"));
+    }
     std::vector<std::thread> threads;
-    threads.emplace_back([this, &chans] {
-      while (auto item = source_()) {
-        if (!chans.front()->push(std::move(*item))) break;
+    threads.emplace_back([this, &chans, &tracks] {
+      rt::ThreadTrackGuard guard(tracer_, tracer_ ? tracks.front() : 0);
+      for (;;) {
+        std::optional<T> item;
+        {
+          TRACE_SPAN("pipe.produce");
+          item = source_();
+        }
+        if (!item || !chans.front()->push(std::move(*item))) break;
       }
       chans.front()->close();
     });
     for (std::size_t s = 0; s < stages_.size(); ++s) {
-      threads.emplace_back([this, s, &chans] {
+      threads.emplace_back([this, s, &chans, &tracks] {
+        rt::ThreadTrackGuard guard(tracer_, tracer_ ? tracks[s + 1] : 0);
         auto& in = *chans[s];
         auto& out = *chans[s + 1];
         while (auto item = in.pop()) {
-          if (!out.push(stages_[s](std::move(*item)))) break;
+          std::optional<T> produced;
+          {
+            TRACE_SPAN("pipe.stage");
+            produced.emplace(stages_[s](std::move(*item)));
+          }
+          if (!out.push(std::move(*produced))) break;
         }
         out.close();
       });
     }
-    threads.emplace_back([this, &chans, &count] {
+    threads.emplace_back([this, &chans, &count, &tracks] {
+      rt::ThreadTrackGuard guard(tracer_, tracer_ ? tracks.back() : 0);
       auto& in = *chans.back();
       while (auto item = in.pop()) {
+        TRACE_SPAN("pipe.consume");
         sink_(std::move(*item));
         ++count;
       }
@@ -92,6 +128,7 @@ class Pipeline {
   Source source_;
   std::vector<Stage> stages_;
   Sink sink_;
+  rt::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace motif

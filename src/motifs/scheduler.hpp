@@ -29,6 +29,7 @@
 
 #include "runtime/machine.hpp"
 #include "runtime/svar.hpp"
+#include "runtime/trace.hpp"
 
 namespace motif {
 
@@ -165,6 +166,7 @@ class Scheduler {
 
     void flat_request(std::uint32_t worker) {
       // Runs on node 0.
+      TRACE_SPAN("scheduler.manager");
       manager_msgs.fetch_add(1, std::memory_order_relaxed);
       if (ready.empty()) {
         idle_targets.push_back(worker);
@@ -178,7 +180,10 @@ class Scheduler {
     void dispatch_flat(std::uint32_t worker, SchedTaskId id) {
       auto self = this->shared_from_this();
       m.post(worker, [self, id, worker] {
-        self->tasks[id].body();
+        {
+          TRACE_SPAN("scheduler.task");
+          self->tasks[id].body();
+        }
         self->m.post(0, [self, id, worker] {
           self->manager_msgs.fetch_add(1, std::memory_order_relaxed);
           self->finish_task(id);
@@ -219,6 +224,7 @@ class Scheduler {
 
     /// Sub-manager s asks the top manager for a batch (runs on node 0).
     void sub_ask_top(std::uint32_t s) {
+      TRACE_SPAN("scheduler.manager");
       manager_msgs.fetch_add(1, std::memory_order_relaxed);
       if (ready.empty()) {
         idle_targets.push_back(s);
@@ -256,7 +262,10 @@ class Scheduler {
         const SchedTaskId id = sub.queue.front();
         sub.queue.pop_front();
         m.post(w, [self, s, id, w] {
-          self->tasks[id].body();
+          {
+            TRACE_SPAN("scheduler.task");
+            self->tasks[id].body();
+          }
           // Report completion to the top manager; rejoin the sub's pool.
           self->m.post(0, [self, id] {
             self->manager_msgs.fetch_add(1, std::memory_order_relaxed);

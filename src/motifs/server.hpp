@@ -98,6 +98,7 @@ class ServerNetwork {
              [self, msg = std::move(msg)]() mutable {
                if (self->halted.load(std::memory_order_acquire)) return;
                self->handled.fetch_add(1, std::memory_order_relaxed);
+               TRACE_SPAN("server.handle");
                Context ctx(self);
                self->handler(ctx, std::move(msg));
              });

@@ -95,6 +95,7 @@ struct TR1 {
                     // is exactly the pile-up Tree-Reduce-2 eliminates.
                     auto scope = std::make_shared<rt::EvalScope>();
                     self->m.post(home, [self, tag, l, r, out, scope] {
+                      TRACE_SPAN("tree_reduce1.eval");
                       out.bind(self->eval(tag, l, r));
                     });
                   });
@@ -250,6 +251,7 @@ V tree_reduce2(rt::Machine& m, const typename Tree<V, Tag>::Ptr& tree,
       V value;
       {
         rt::EvalScope scope;  // exactly one evaluation active per node
+        TRACE_SPAN("tree_reduce2.combine");
         value = eval(e.tag, ready.left, ready.right);
       }
       if (e.parent < 0) {
@@ -308,6 +310,7 @@ V static_tree_reduce(rt::Machine& m, const typename Tree<V, Tag>::Ptr& tree,
         const rt::NodeId target =
             next.fetch_add(1, std::memory_order_relaxed) % m.node_count();
         m.post(target, [this, t, out] {
+          TRACE_SPAN("static_tree_reduce.partition");
           out.bind(reduce_sequential<V, Tag>(t, eval));
         });
         return;
@@ -318,6 +321,7 @@ V static_tree_reduce(rt::Machine& m, const typename Tree<V, Tag>::Ptr& tree,
       rt::when_both(lv, rv, [this, tag = t->tag(), out](const V& l,
                                                         const V& r) {
         rt::EvalScope scope;
+        TRACE_SPAN("static_tree_reduce.combine");
         out.bind(eval(tag, l, r));
       });
     }

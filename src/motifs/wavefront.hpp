@@ -55,9 +55,12 @@ void wavefront(rt::Machine& m, std::size_t rows, std::size_t cols,
                   std::size_t bj) {
       const std::size_t i0 = bi * tile, i1 = std::min(rows, i0 + tile);
       const std::size_t j0 = bj * tile, j1 = std::min(cols, j0 + tile);
-      for (std::size_t i = i0; i < i1; ++i) {
-        for (std::size_t j = j0; j < j1; ++j) {
-          (*body)(i, j);
+      {
+        TRACE_SPAN("wavefront.tile");
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            (*body)(i, j);
+          }
         }
       }
       if (bi + 1 < tr) release(self, bi + 1, bj);

@@ -21,6 +21,13 @@ Machine::Machine(MachineConfig cfg)
   for (std::uint32_t i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<Node>(splitmix64(s)));
   }
+#if MOTIF_TRACING
+  tracer_ = std::make_unique<Tracer>(
+      TracerOptions{std::max<std::size_t>(2, cfg.trace_capacity)});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tracer_->add_track("node " + std::to_string(i));
+  }
+#endif
   std::uint32_t w = cfg.workers;
   if (w == 0) {
     const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
@@ -50,23 +57,63 @@ Machine::~Machine() {
 
 NodeId Machine::current_node() { return tl_current_node; }
 
+void Machine::start_trace() {
+#if MOTIF_TRACING
+  if (!tracer_->active()) tracer_->start();
+#endif
+}
+
+void Machine::stop_trace() {
+#if MOTIF_TRACING
+  tracer_->stop();
+#endif
+}
+
+bool Machine::tracing() const {
+#if MOTIF_TRACING
+  return tracer_->active();
+#else
+  return false;
+#endif
+}
+
+TraceLog Machine::drain_trace() {
+#if MOTIF_TRACING
+  return tracer_->drain();
+#else
+  return {};
+#endif
+}
+
 void Machine::post(NodeId n, Task t) {
   const NodeId from = tl_current_node;
+  QueuedTask qt{std::move(t)};
   if (from == kNoNode) {
     // external producer; not an inter-processor message
   } else if (from == n) {
     nodes_[from]->counters.posts_local.fetch_add(1, std::memory_order_relaxed);
   } else {
+    const std::uint32_t hops = hop_distance(from, n);
     nodes_[from]->counters.posts_remote.fetch_add(1, std::memory_order_relaxed);
-    nodes_[from]->counters.hops.fetch_add(hop_distance(from, n),
-                                          std::memory_order_relaxed);
+    nodes_[from]->counters.hops.fetch_add(hops, std::memory_order_relaxed);
     nodes_[n]->counters.recv_remote.fetch_add(1, std::memory_order_relaxed);
+#if MOTIF_TRACING
+    if (tracer_->active()) {
+      // The calling thread is running node `from`, i.e. it is that
+      // track's (single) writer right now.
+      qt.trace_msg = tracer_->next_msg_id();
+      qt.from = from;
+      qt.hops = hops;
+      tracer_->emit(from, TraceEventKind::MsgSend, nullptr, qt.trace_msg, n,
+                    hops);
+    }
+#endif
   }
   pending_.fetch_add(1, std::memory_order_relaxed);
   bool need_schedule = false;
   {
     std::lock_guard lock(nodes_[n]->m);
-    nodes_[n]->q.push_back(std::move(t));
+    nodes_[n]->q.push_back(std::move(qt));
     const auto depth = static_cast<std::uint64_t>(nodes_[n]->q.size());
     std::uint64_t peak = peak_queue_.load(std::memory_order_relaxed);
     while (depth > peak && !peak_queue_.compare_exchange_weak(
@@ -119,9 +166,15 @@ void Machine::worker_loop() {
 void Machine::run_node(NodeId n) {
   Node& node = *nodes_[n];
   tl_current_node = n;
+#if MOTIF_TRACING
+  // Bind this thread to the node's trace track so EvalScope and
+  // TRACE_SPAN emissions inside tasks land on the right timeline. The
+  // ready-list handoff serialises successive writers of one track.
+  ThreadTrackGuard trace_guard(tracer_.get(), n);
+#endif
   std::uint32_t executed = 0;
   for (;;) {
-    Task t;
+    QueuedTask t;
     {
       std::lock_guard lock(node.m);
       if (node.q.empty()) {
@@ -138,12 +191,32 @@ void Machine::run_node(NodeId n) {
     }
     ++executed;
     node.counters.tasks.fetch_add(1, std::memory_order_relaxed);
+#if MOTIF_TRACING
+    const bool traced = tracer_->active();
+    std::uint64_t work_before = 0;
+    if (traced) {
+      tracer_->emit(n, TraceEventKind::TaskBegin);
+      if (t.trace_msg != 0) {
+        tracer_->emit(n, TraceEventKind::MsgRecv, nullptr, t.trace_msg,
+                      t.from, t.hops);
+      }
+      work_before = node.counters.work.load(std::memory_order_relaxed);
+    }
+#endif
     try {
-      t();
+      t.fn();
     } catch (...) {
       std::lock_guard lock(error_m_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+#if MOTIF_TRACING
+    if (traced) {
+      const std::uint64_t work_after =
+          node.counters.work.load(std::memory_order_relaxed);
+      tracer_->emit(n, TraceEventKind::TaskEnd, nullptr,
+                    work_after - work_before);
+    }
+#endif
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lock(idle_m_);
       idle_cv_.notify_all();

@@ -31,6 +31,7 @@
 #include "runtime/metrics.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/svar.hpp"
+#include "runtime/trace.hpp"
 
 namespace motif::rt {
 
@@ -57,6 +58,7 @@ struct MachineConfig {
   std::uint32_t batch = 64;   ///< max tasks drained from a node per visit
   std::uint64_t seed = 0x5EEDF00Dull;
   Topology topology = Topology::Complete;
+  std::size_t trace_capacity = 8192;  ///< trace events retained per node
 };
 
 class Machine {
@@ -124,14 +126,45 @@ class Machine {
 
   Topology topology() const { return topology_; }
 
+  /// True when the runtime was built with MOTIF_TRACING=1; when false the
+  /// trace methods below are no-ops and TRACE_SPAN compiles away.
+  static constexpr bool trace_compiled = MOTIF_TRACING != 0;
+
+  /// Begins recording trace events (one timeline per virtual node). Call
+  /// while the machine is idle; clears any previously recorded events.
+  /// No-op when tracing is compiled out or already started.
+  void start_trace();
+
+  /// Stops recording; already-recorded events remain until drain_trace().
+  void stop_trace();
+
+  /// True while events are being recorded.
+  bool tracing() const;
+
+  /// Stops the trace and returns every node's timeline (oldest event
+  /// first, plus per-node dropped-event counts). Call while idle. The
+  /// machine can be traced again afterwards with start_trace().
+  TraceLog drain_trace();
+
   /// Message distance between two nodes under the configured topology
   /// (0 for a == b; 1 for any remote pair on Complete).
   std::uint32_t hop_distance(NodeId a, NodeId b) const;
 
  private:
+  /// Queue entry: the task plus (when tracing is compiled in) the message
+  /// identity that lets the tracer pair a remote send with its delivery.
+  struct QueuedTask {
+    Task fn;
+#if MOTIF_TRACING
+    std::uint64_t trace_msg = 0;  // nonzero: traced remote message id
+    NodeId from = kNoNode;
+    std::uint32_t hops = 0;
+#endif
+  };
+
   struct Node {
     std::mutex m;
-    std::deque<Task> q;
+    std::deque<QueuedTask> q;
     bool scheduled = false;  // present in the ready list or being drained
     Rng rng;
     NodeCounters counters;
@@ -164,6 +197,12 @@ class Machine {
   std::uint32_t mesh_cols_ = 1;
 
   std::atomic<std::uint64_t> peak_queue_{0};
+
+#if MOTIF_TRACING
+  // Created in the constructor (immutable pointer: workers may read it
+  // without synchronisation); recording is toggled by start/stop_trace.
+  std::unique_ptr<Tracer> tracer_;
+#endif
 
   std::vector<std::thread> workers_;
 };

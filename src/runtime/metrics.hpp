@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/trace.hpp"
+
 namespace motif::rt {
 
 /// A current/peak gauge with relaxed atomics; peak is maintained with a
@@ -91,8 +93,10 @@ class EvalScope {
       : bytes_(eval_working_bytes().load(std::memory_order_relaxed)) {
     active_evals().add(1);
     if (bytes_ != 0) live_bytes().add(static_cast<std::int64_t>(bytes_));
+    trace_eval_begin();  // timeline view of the concurrency gauge
   }
   ~EvalScope() {
+    trace_eval_end();
     active_evals().add(-1);
     if (bytes_ != 0) live_bytes().add(-static_cast<std::int64_t>(bytes_));
   }

@@ -94,6 +94,34 @@ TEST(Summarize, EmptyIsZero) {
   EXPECT_EQ(s.imbalance, 0.0);
 }
 
+TEST(Summarize, EmptyCountersProduceNoNanOrSentinel) {
+  // An empty machine must not divide by counters.size() or leave the
+  // min-tracking sentinel behind: every field is a plain zero.
+  auto s = rt::summarize(std::vector<rt::NodeCounters>{});
+  EXPECT_EQ(s.min_tasks, 0u);
+  EXPECT_EQ(s.max_tasks, 0u);
+  EXPECT_EQ(s.mean_tasks, 0.0);
+  EXPECT_EQ(s.work_imbalance, 0.0);
+  EXPECT_EQ(s.virtual_speedup, 0.0);
+  EXPECT_EQ(s.hops_per_remote, 0.0);
+  EXPECT_EQ(s.makespan, 0u);
+}
+
+TEST(Summarize, ZeroMakespanGuardsVirtualSpeedup) {
+  // Tasks ran but reported no virtual work: makespan is 0 and the
+  // speedup/imbalance ratios must stay 0 instead of dividing by it.
+  std::vector<rt::NodeCounters> cs(3);
+  cs[0].tasks = 4;
+  cs[1].tasks = 4;
+  cs[2].tasks = 4;
+  auto s = rt::summarize(cs);
+  EXPECT_EQ(s.total_work, 0u);
+  EXPECT_EQ(s.makespan, 0u);
+  EXPECT_EQ(s.virtual_speedup, 0.0);
+  EXPECT_EQ(s.work_imbalance, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_tasks, 4.0);
+}
+
 TEST(Summarize, ComputesAggregates) {
   std::vector<rt::NodeCounters> cs(4);
   cs[0].tasks = 10;

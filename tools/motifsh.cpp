@@ -16,6 +16,11 @@
 //   motif> :nodes 8                   set the machine size
 //   motif> :run create(8, run(tree('+',leaf(1),leaf(2)),V))
 //   motif> :profile                   reductions by definition (last run)
+//   motif> :trace on                  record timelines for later runs
+//   motif> :trace dump [file]         text summary, or Chrome JSON to file
+//
+// Invoke with `--trace FILE` to write a Chrome-trace JSON (load it in
+// chrome://tracing or Perfetto) after every traced :run.
 //
 // Reads commands from stdin (scriptable: `motifsh < script`), so it also
 // serves as an end-to-end smoke test target.
@@ -24,6 +29,8 @@
 #include <optional>
 #include <sstream>
 #include <string>
+
+#include "runtime/trace.hpp"
 
 #include "interp/interp.hpp"
 #include "interp/stdlib.hpp"
@@ -48,6 +55,10 @@ struct Shell {
   std::uint32_t nodes = 4;
   in::RunResult last;
   bool had_run = false;
+  bool trace_enabled = false;
+  std::string trace_file;  // --trace FILE: Chrome JSON after each :run
+  motif::rt::TraceLog last_trace;
+  bool had_trace = false;
 
   std::optional<tf::Motif> motif_by_name(const std::string& name,
                                          const std::string& arg) {
@@ -85,13 +96,30 @@ struct Shell {
     return keys;
   }
 
+  void write_trace_file(const std::string& path) {
+    std::ofstream f(path);
+    if (!f) {
+      std::cout << "cannot write " << path << "\n";
+      return;
+    }
+    motif::rt::write_chrome_trace(last_trace, f);
+    std::cout << "trace: wrote " << last_trace.total_events()
+              << " events to " << path << "\n";
+  }
+
   void run_goal(const std::string& goal) {
     try {
       in::InterpOptions opts;
       opts.nodes = nodes;
       opts.workers = 2;
       in::Interp interp(program, opts);
+      if (trace_enabled) interp.machine().start_trace();
       auto [g, r] = interp.run_query(goal);
+      if (trace_enabled) {
+        last_trace = interp.machine().drain_trace();
+        had_trace = true;
+        if (!trace_file.empty()) write_trace_file(trace_file);
+      }
       last = r;
       had_run = true;
       std::cout << "goal: " << motif::term::format_term(g) << "\n";
@@ -184,6 +212,37 @@ struct Shell {
       run_goal(rest);
       return true;
     }
+    if (cmd == "trace") {
+      std::istringstream rs(rest);
+      std::string sub;
+      rs >> sub;
+      if (!motif::rt::Machine::trace_compiled) {
+        std::cout << "tracing unavailable (built with MOTIF_TRACING=OFF)\n";
+        return true;
+      }
+      if (sub == "on") {
+        trace_enabled = true;
+        std::cout << "tracing on (timelines recorded per :run)\n";
+      } else if (sub == "off") {
+        trace_enabled = false;
+        std::cout << "tracing off\n";
+      } else if (sub == "dump") {
+        if (!had_trace) {
+          std::cout << "no trace yet (:trace on, then :run)\n";
+          return true;
+        }
+        std::string file;
+        rs >> file;
+        if (!file.empty()) {
+          write_trace_file(file);
+        } else {
+          motif::rt::write_text_summary(last_trace, std::cout);
+        }
+      } else {
+        std::cout << ":trace on | off | dump [file]\n";
+      }
+      return true;
+    }
     if (cmd == "profile") {
       if (!had_run) {
         std::cout << "no run yet\n";
@@ -196,7 +255,8 @@ struct Shell {
     }
     if (cmd == "help" || cmd == "h") {
       std::cout << ":load FILE | :stdlib | :apply MOTIF [keys] | :list | "
-                   ":clear | :nodes N | :run GOAL | :profile | :quit\n"
+                   ":clear | :nodes N | :run GOAL | :profile | "
+                   ":trace on|off|dump [file] | :quit\n"
                    "bare lines are parsed as clauses and added\n";
       return true;
     }
@@ -207,8 +267,18 @@ struct Shell {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Shell shell;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      shell.trace_file = argv[++i];
+      shell.trace_enabled = true;
+    } else {
+      std::cerr << "usage: motifsh [--trace FILE]  (commands on stdin)\n";
+      return 2;
+    }
+  }
   const bool tty = false;  // prompt is harmless when scripted too
   (void)tty;
   std::string line;

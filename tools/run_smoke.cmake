@@ -1,5 +1,6 @@
 # Drives motifsh with smoke_script.txt and checks the Figure 5 pipeline
-# computes 24 without deadlock.
+# computes 24 without deadlock, and that the tracing loop (:trace on ->
+# :run -> :trace dump) produces a per-node summary and a Chrome JSON.
 execute_process(COMMAND ${SHELL}
                 INPUT_FILE ${SCRIPT}
                 OUTPUT_VARIABLE out
@@ -20,3 +21,29 @@ string(FIND "${out}" "reduce/3" rpos)
 if(rpos EQUAL -1)
   message(FATAL_ERROR "profile should show reduce/3 commits:\n${out}")
 endif()
+# Built with MOTIF_TRACING=OFF the :trace commands report unavailability
+# (and write no file); that is the correct behaviour for that build.
+string(FIND "${out}" "tracing unavailable" offpos)
+if(NOT offpos EQUAL -1)
+  return()
+endif()
+# :trace dump (no file) prints the per-node text summary.
+string(FIND "${out}" "node 0: events=" tpos)
+if(tpos EQUAL -1)
+  message(FATAL_ERROR "trace dump should print per-node summaries:\n${out}")
+endif()
+# :trace dump FILE writes Chrome trace-event JSON (into the test cwd).
+string(FIND "${out}" "events to smoke_trace.json" wpos)
+if(wpos EQUAL -1)
+  message(FATAL_ERROR "trace dump FILE should report the write:\n${out}")
+endif()
+file(READ smoke_trace.json trace_json)
+string(FIND "${trace_json}" "\"traceEvents\"" jpos)
+if(jpos EQUAL -1)
+  message(FATAL_ERROR "smoke_trace.json is not a Chrome trace:\n${trace_json}")
+endif()
+string(FIND "${trace_json}" "\"thread_name\"" npos)
+if(npos EQUAL -1)
+  message(FATAL_ERROR "smoke_trace.json has no node tracks:\n${trace_json}")
+endif()
+file(REMOVE smoke_trace.json)
