@@ -1,0 +1,632 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "interp/arith.hpp"
+#include "interp/builtins.hpp"
+#include "term/subst.hpp"
+#include "term/writer.hpp"
+
+namespace motif::analysis {
+
+using term::Clause;
+using term::ProcKey;
+using term::Program;
+using term::Term;
+
+const char* code_id(Code c) {
+  switch (c) {
+    case Code::MultipleWriters: return "ML001";
+    case Code::NoProducer: return "ML002";
+    case Code::GuardUnbindable: return "ML003";
+    case Code::UnknownProcess: return "ML010";
+    case Code::ArityMismatch: return "ML011";
+    case Code::BuiltinRedefined: return "ML012";
+    case Code::UnreachableRule: return "ML020";
+    case Code::UnreachableProcess: return "ML021";
+    case Code::OtherwisePosition: return "ML030";
+    case Code::SingletonVariable: return "ML031";
+    case Code::BadPlacement: return "ML040";
+    case Code::UnknownGuard: return "ML050";
+    case Code::NonProcessGoal: return "ML051";
+  }
+  return "ML???";
+}
+
+const char* code_slug(Code c) {
+  switch (c) {
+    case Code::MultipleWriters: return "multiple-writers";
+    case Code::NoProducer: return "no-producer";
+    case Code::GuardUnbindable: return "guard-unbindable";
+    case Code::UnknownProcess: return "unknown-process";
+    case Code::ArityMismatch: return "arity-mismatch";
+    case Code::BuiltinRedefined: return "builtin-redefined";
+    case Code::UnreachableRule: return "unreachable-rule";
+    case Code::UnreachableProcess: return "unreachable-process";
+    case Code::OtherwisePosition: return "otherwise-position";
+    case Code::SingletonVariable: return "singleton-variable";
+    case Code::BadPlacement: return "bad-placement";
+    case Code::UnknownGuard: return "unknown-guard";
+    case Code::NonProcessGoal: return "non-process-goal";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string s;
+  if (span.valid()) s += span.to_string() + ": ";
+  s += severity == Severity::Error ? "error: " : "warning: ";
+  s += code_id(code);
+  s += " ";
+  s += code_slug(code);
+  s += ": ";
+  s += message;
+  s += " [" + definition.to_string() + " rule " +
+       std::to_string(rule_index + 1) + "]";
+  return s;
+}
+
+std::size_t Report::errors() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(), [](const auto& d) {
+        return d.severity == Severity::Error;
+      }));
+}
+
+std::size_t Report::warnings() const {
+  return diagnostics.size() - errors();
+}
+
+std::string Report::to_string() const {
+  std::string s;
+  for (const auto& d : diagnostics) {
+    s += d.to_string();
+    s += '\n';
+  }
+  return s;
+}
+
+namespace {
+
+/// Per-clause statistics of one variable cell, accumulated over every
+/// occurrence. The checks read these off after the scan.
+struct VarStat {
+  std::string name;
+  int occurrences = 0;
+  int definite_writes = 0;  // LHS of :=/is, inside a builtin 'o' argument
+  int call_writes = 0;      // top-level at a callee position that writes
+  int escapes = 0;          // into data / messages / unknown callees
+  int consumes = 0;         // positions that require the variable bound
+  int guard_consumes = 0;   // consumed by a guard test specifically
+  bool in_head = false;
+};
+
+struct ClauseScan {
+  std::unordered_map<Term, VarStat, term::TermHash, term::TermIdEq> vars;
+  std::vector<Term> order;  // first-occurrence order, for stable output
+
+  VarStat& at(const Term& v) {
+    auto [it, inserted] = vars.try_emplace(v);
+    if (inserted) {
+      it->second.name = v.var_name();
+      order.push_back(v);
+    }
+    return it->second;
+  }
+  const VarStat* find(const Term& v) const {
+    auto it = vars.find(v);
+    return it == vars.end() ? nullptr : &it->second;
+  }
+};
+
+/// How one occurrence of a variable is classified.
+enum class Occ { Head, Write, Escape, Consume, GuardConsume, Neutral };
+
+void record(ClauseScan& cs, const Term& v, Occ occ) {
+  VarStat& s = cs.at(v);
+  s.occurrences++;
+  switch (occ) {
+    case Occ::Head: s.in_head = true; break;
+    case Occ::Write: s.definite_writes++; break;
+    case Occ::Escape: s.escapes++; break;
+    case Occ::Consume: s.consumes++; break;
+    case Occ::GuardConsume:
+      s.guard_consumes++;
+      s.consumes++;
+      break;
+    case Occ::Neutral: break;
+  }
+}
+
+void each_var(const Term& t, const std::function<void(const Term&)>& fn) {
+  Term d = t.deref();
+  if (d.is_var()) {
+    fn(d);
+    return;
+  }
+  if (d.is_compound()) {
+    for (const auto& a : d.args()) each_var(a, fn);
+  }
+}
+
+void record_all(ClauseScan& cs, const Term& t, Occ occ) {
+  each_var(t, [&](const Term& v) { record(cs, v, occ); });
+}
+
+bool is_placement(const Term& t) {
+  Term d = t.deref();
+  return d.is_compound() && !d.is_cons() && !d.is_tuple() &&
+         d.functor() == "@" && d.arity() == 2;
+}
+
+bool is_node_op(const std::string& f, std::size_t n) {
+  if (n == 2) {
+    return f == "+" || f == "-" || f == "*" || f == "/" || f == "//" ||
+           f == "mod" || f == "min" || f == "max";
+  }
+  return n == 1 && f == "abs";
+}
+
+/// True if the guard list is absent or all-`true` (such rules always
+/// commit once the head matches — the precondition for subsumption).
+bool guard_is_trivial(const std::vector<Term>& guard) {
+  for (const auto& g : guard) {
+    Term d = g.deref();
+    if (!(d.is_atom() && d.functor() == "true")) return false;
+  }
+  return true;
+}
+
+/// Scans clauses, classifying every variable occurrence against the
+/// builtin signature table and the (possibly still-evolving) mode table.
+/// `sink` receives goal-level diagnostics; it is null during the
+/// mode-inference fixpoint.
+class Scanner {
+ public:
+  Scanner(const Program& program, const Options& opts, const ModeTable* modes)
+      : modes_(modes) {
+    for (const auto& k : program.defined()) {
+      defined_.insert(k);
+      names_.insert(k.name);
+    }
+    for (const auto& k : opts.assume_defined) assumed_.insert(k);
+    for (const auto& sig : interp::builtin_signatures()) {
+      names_.insert(std::string(sig.name));
+    }
+  }
+
+  std::function<void(Code, Severity, const std::string&)> sink;
+
+  ClauseScan scan(const Clause& c) {
+    ClauseScan cs;
+    scan_head(cs, c.head);
+    scan_guard(cs, c.guard);
+    for (const auto& g : c.body) scan_body_goal(cs, g);
+    return cs;
+  }
+
+ private:
+  void diag(Code code, Severity sev, const std::string& msg) {
+    if (sink) sink(code, sev, msg);
+  }
+
+  /// Flags any placement annotation buried inside a term (heads, guards,
+  /// goal arguments): `@` is only meaningful at the top of a body goal.
+  void check_no_placement_inside(const Term& t, const char* where) {
+    Term d = t.deref();
+    if (is_placement(d)) {
+      diag(Code::BadPlacement, Severity::Error,
+           "placement annotation " + term::format_term(d) + " inside " +
+               where + " (@ applies only to top-level body goals)");
+      return;
+    }
+    if (d.is_compound()) {
+      for (const auto& a : d.args()) check_no_placement_inside(a, where);
+    }
+  }
+
+  void scan_head(ClauseScan& cs, const Term& head) {
+    Term h = head.deref();
+    if (is_placement(h)) {
+      diag(Code::BadPlacement, Severity::Error,
+           "placement annotation on a clause head (@ applies only to body "
+           "goals)");
+      record_all(cs, h, Occ::Head);
+      return;
+    }
+    if (interp::find_builtin(h.functor(), h.arity()) != nullptr) {
+      diag(Code::BuiltinRedefined, Severity::Error,
+           "rule head redefines the builtin " + h.functor() + "/" +
+               std::to_string(h.arity()));
+    }
+    if (h.is_compound()) {
+      for (const auto& a : h.args()) check_no_placement_inside(a, "the head");
+    }
+    record_all(cs, h, Occ::Head);
+  }
+
+  void scan_guard(ClauseScan& cs, const std::vector<Term>& guard) {
+    bool seen_otherwise = false;
+    for (const auto& gt : guard) {
+      Term d = gt.deref();
+      if (seen_otherwise) {
+        diag(Code::OtherwisePosition, Severity::Warning,
+             "guard test after otherwise can never influence commitment");
+      }
+      if (d.is_var()) {
+        record(cs, d, Occ::GuardConsume);
+        continue;
+      }
+      if (d.is_atom() && d.functor() == "otherwise") {
+        if (&gt != &guard.front()) {
+          diag(Code::OtherwisePosition, Severity::Warning,
+               "otherwise must be the whole guard (the interpreter only "
+               "honours it in first position)");
+        }
+        seen_otherwise = true;
+        continue;
+      }
+      if (d.is_atom() && d.functor() == "true") continue;
+      if (d.is_compound() && !d.is_cons() && !d.is_tuple() &&
+          interp::is_comparison(d.functor(), d.arity())) {
+        record_all(cs, d.arg(0), Occ::GuardConsume);
+        record_all(cs, d.arg(1), Occ::GuardConsume);
+        continue;
+      }
+      if (d.is_compound() && !d.is_cons() && !d.is_tuple() &&
+          interp::is_type_test(d.functor(), d.arity())) {
+        Term a = d.arg(0).deref();
+        if (a.is_var()) {
+          record(cs, a, Occ::GuardConsume);
+        } else {
+          record_all(cs, a, Occ::Neutral);
+        }
+        continue;
+      }
+      diag(Code::UnknownGuard, Severity::Error,
+           "not a recognised guard test: " + term::format_term(d) +
+               " (guards are comparisons, type tests, true, otherwise)");
+      record_all(cs, d, Occ::Escape);
+    }
+  }
+
+  void scan_placement(ClauseScan& cs, const Term& t) {
+    Term d = t.deref();
+    if (d.is_var()) {
+      record(cs, d, Occ::Consume);
+      return;
+    }
+    if (d.is_int()) return;
+    if (d.is_atom() && (d.functor() == "random" || d.functor() == "task")) {
+      return;  // motif pragmas, consumed by the Rand/Sched transformations
+    }
+    if (d.is_compound() && !d.is_cons() && !d.is_tuple() &&
+        is_node_op(d.functor(), d.arity())) {
+      for (const auto& a : d.args()) scan_placement(cs, a);
+      return;
+    }
+    diag(Code::BadPlacement, Severity::Error,
+         "placement argument " + term::format_term(d) +
+             " is not a node expression (integer arithmetic, random, task)");
+    record_all(cs, d, Occ::Escape);
+  }
+
+  void scan_assign(ClauseScan& cs, const Term& g, bool strict_arith) {
+    Term l = g.arg(0).deref();
+    Term r = g.arg(1).deref();
+    if (l.is_var()) {
+      record(cs, l, Occ::Write);
+    } else {
+      record_all(cs, l, Occ::Consume);  // degenerates to an equality test
+    }
+    if (strict_arith || interp::looks_arithmetic(r)) {
+      record_all(cs, r, Occ::Consume);
+    } else {
+      record_all(cs, r, Occ::Escape);  // data assignment: rhs vars live on
+    }
+  }
+
+  void scan_body_goal(ClauseScan& cs, const Term& goal) {
+    auto view = term::strip_placement(goal);
+    if (view.annotated) scan_placement(cs, view.placement);
+    Term g = view.goal.deref();
+    if (g.is_var()) {
+      record(cs, g, Occ::Consume);  // metacall: runs whatever it is bound to
+      return;
+    }
+    if (is_placement(g)) {
+      diag(Code::BadPlacement, Severity::Error,
+           "nested placement annotation: " + term::format_term(goal));
+      record_all(cs, g, Occ::Escape);
+      return;
+    }
+    if (!(g.is_atom() || g.is_compound()) || g.is_cons() || g.is_tuple()) {
+      diag(Code::NonProcessGoal, Severity::Error,
+           "body goal " + term::format_term(g) + " is not a process call");
+      record_all(cs, g, Occ::Escape);
+      return;
+    }
+    const std::string& f = g.functor();
+    const std::size_t n = g.arity();
+    if (g.is_compound()) {
+      for (const auto& a : g.args()) check_no_placement_inside(a, "a goal");
+    }
+    if ((f == ":=" || f == "=") && n == 2) {
+      scan_assign(cs, g, /*strict_arith=*/false);
+      return;
+    }
+    if (f == "is" && n == 2) {
+      scan_assign(cs, g, /*strict_arith=*/true);
+      return;
+    }
+    if (const auto* sig = interp::find_builtin(f, n)) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Term a = g.arg(i).deref();
+        switch (sig->modes[i]) {
+          case 'i':
+            if (a.is_var()) {
+              record(cs, a, Occ::Consume);
+            } else {
+              record_all(cs, a, Occ::Escape);  // spine-read structure
+            }
+            break;
+          case 'x':
+            record_all(cs, a, Occ::Consume);
+            break;
+          case 'o':
+            record_all(cs, a, Occ::Write);
+            break;
+          case 'd':
+            record_all(cs, a, Occ::Escape);
+            break;
+        }
+      }
+      return;
+    }
+    scan_user_call(cs, g, ProcKey{f, n});
+  }
+
+  void scan_user_call(ClauseScan& cs, const Term& g, const ProcKey& key) {
+    if (defined_.count(key) != 0) {
+      const ProcModes* pm = nullptr;
+      if (modes_ != nullptr) {
+        auto it = modes_->find(key);
+        if (it != modes_->end()) pm = &it->second;
+      }
+      for (std::size_t i = 0; i < key.arity; ++i) {
+        const Term a = g.arg(i).deref();
+        const bool w = pm != nullptr && pm->writes[i];
+        const bool bind = pm != nullptr && pm->may_bind[i];
+        const bool need = pm != nullptr && pm->needs[i];
+        if (!a.is_var()) {
+          record_all(cs, a, Occ::Escape);  // vars inside data given away
+          continue;
+        }
+        VarStat& s = cs.at(a);
+        s.occurrences++;
+        if (w) s.call_writes++;
+        if (need) s.consumes++;
+        if (!w && bind) s.escapes++;
+      }
+      return;
+    }
+    if (assumed_.count(key) != 0) {
+      if (g.is_compound()) {
+        for (const auto& a : g.args()) record_all(cs, a, Occ::Escape);
+      }
+      return;
+    }
+    if (interp::is_guard_test(key.name, key.arity)) {
+      diag(Code::UnknownProcess, Severity::Error,
+           key.to_string() + " is a guard test, not a process (move it "
+                             "before the commit bar)");
+    } else if (names_.count(key.name) != 0) {
+      diag(Code::ArityMismatch, Severity::Error,
+           "no process " + key.to_string() + " (the name exists at a "
+                                             "different arity)");
+    } else {
+      diag(Code::UnknownProcess, Severity::Error,
+           "call to undefined process " + key.to_string());
+    }
+    if (g.is_compound()) {
+      for (const auto& a : g.args()) record_all(cs, a, Occ::Escape);
+    }
+  }
+
+  const ModeTable* modes_;
+  std::set<ProcKey> defined_;
+  std::set<ProcKey> assumed_;
+  std::set<std::string> names_;  // defined or builtin, any arity
+};
+
+int head_occurrences(const Term& head, const Term& v) {
+  int n = 0;
+  each_var(head, [&](const Term& u) {
+    if (u.same_node(v)) ++n;
+  });
+  return n;
+}
+
+/// Subsumption: an earlier always-committing rule whose head matches
+/// everything the later head matches makes the later rule unreachable.
+bool subsumes(const Clause& earlier, const Clause& later) {
+  if (!guard_is_trivial(earlier.guard)) return false;
+  term::Bindings renaming;
+  Term pattern = term::rename_fresh(earlier.head, renaming);
+  term::Bindings b;
+  return term::match(pattern, later.head, b);
+}
+
+}  // namespace
+
+ModeTable infer_modes(const Program& program, const Options& opts) {
+  ModeTable table;
+  std::size_t positions = 0;
+  for (const auto& c : program.clauses()) {
+    Term h = c.head.deref();
+    ProcKey key{h.functor(), h.arity()};
+    auto [it, inserted] = table.try_emplace(key);
+    if (inserted) {
+      it->second.writes.assign(key.arity, false);
+      it->second.may_bind.assign(key.arity, false);
+      it->second.needs.assign(key.arity, false);
+      positions += key.arity;
+    }
+  }
+  Scanner scanner(program, opts, &table);
+
+  auto raise = [](std::vector<bool>& bits, std::size_t i, bool v) {
+    if (v && !bits[i]) {
+      bits[i] = true;
+      return true;
+    }
+    return false;
+  };
+
+  // Monotone fixpoint: each pass can only switch bits on, so it converges
+  // within (3 * positions + 1) passes; in practice a handful.
+  for (std::size_t pass = 0; pass <= 3 * positions + 1; ++pass) {
+    bool changed = false;
+    for (const auto& c : program.clauses()) {
+      Term h = c.head.deref();
+      ProcKey key{h.functor(), h.arity()};
+      ClauseScan cs = scanner.scan(c);
+      ProcModes& pm = table[key];
+      for (std::size_t i = 0; i < key.arity; ++i) {
+        const Term a = h.arg(i).deref();
+        if (!a.is_var()) {
+          changed |= raise(pm.needs, i, true);
+          continue;
+        }
+        const VarStat* s = cs.find(a);
+        if (s == nullptr) continue;
+        const bool writes = s->definite_writes > 0 || s->call_writes > 0;
+        changed |= raise(pm.writes, i, writes);
+        changed |= raise(pm.may_bind, i, writes || s->escapes > 0);
+        changed |= raise(pm.needs, i,
+                         s->consumes > 0 || head_occurrences(h, a) > 1);
+      }
+    }
+    if (!changed) break;
+  }
+  return table;
+}
+
+Report analyze(const Program& program, const Options& opts) {
+  Report rep;
+  const ModeTable modes = infer_modes(program, opts);
+  Scanner scanner(program, opts, &modes);
+
+  std::map<ProcKey, std::vector<std::size_t>> rules_of;  // clause indices
+  const auto& clauses = program.clauses();
+  for (std::size_t ci = 0; ci < clauses.size(); ++ci) {
+    const Clause& c = clauses[ci];
+    Term h = c.head.deref();
+    ProcKey key{h.functor(), h.arity()};
+    auto& indices = rules_of[key];
+    const std::size_t rule_index = indices.size();
+    indices.push_back(ci);
+
+    scanner.sink = [&](Code code, Severity sev, const std::string& msg) {
+      rep.diagnostics.push_back(
+          {code, sev, key, ci, rule_index, c.span, msg});
+    };
+    ClauseScan cs = scanner.scan(c);
+
+    for (const auto& v : cs.order) {
+      const VarStat& s = *cs.find(v);
+      const bool bindable =
+          s.definite_writes > 0 || s.call_writes > 0 || s.escapes > 0;
+      if (s.definite_writes >= 2 ||
+          (s.definite_writes >= 1 && s.call_writes >= 1)) {
+        scanner.sink(Code::MultipleWriters, Severity::Error,
+                     "variable " + s.name +
+                         " has multiple potential writers "
+                         "(single-assignment violation)");
+      }
+      if (s.guard_consumes > 0 && !s.in_head) {
+        scanner.sink(Code::GuardUnbindable, Severity::Error,
+                     "guard waits on " + s.name +
+                         ", which is not a head variable and so can never "
+                         "be bound before commitment");
+      } else if (s.consumes > 0 && !s.in_head && !bindable) {
+        scanner.sink(Code::NoProducer, Severity::Error,
+                     "variable " + s.name +
+                         " is consumed but has no possible producer "
+                         "(guaranteed suspension)");
+      }
+      if (opts.singletons && s.occurrences == 1 && !s.name.empty() &&
+          s.name[0] != '_') {
+        scanner.sink(Code::SingletonVariable, Severity::Warning,
+                     "singleton variable " + s.name +
+                         " (use _ if this is intentional)");
+      }
+    }
+  }
+  scanner.sink = nullptr;
+
+  // Unreachable rules: subsumed by an earlier always-committing rule.
+  for (const auto& [key, indices] : rules_of) {
+    for (std::size_t j = 1; j < indices.size(); ++j) {
+      for (std::size_t k = 0; k < j; ++k) {
+        if (subsumes(clauses[indices[k]], clauses[indices[j]])) {
+          rep.diagnostics.push_back(
+              {Code::UnreachableRule, Severity::Error, key, indices[j], j,
+               clauses[indices[j]].span,
+               "unreachable rule: every goal it matches commits to rule " +
+                   std::to_string(k + 1) + " first"});
+          break;
+        }
+      }
+    }
+  }
+
+  // Reachability from the given entry points.
+  if (!opts.entries.empty()) {
+    const auto cg = program.call_graph();
+    std::set<ProcKey> reached;
+    std::deque<ProcKey> work;
+    for (const auto& e : opts.entries) {
+      if (!program.defines(e)) {
+        rep.diagnostics.push_back(
+            {Code::UnknownProcess, Severity::Error, e, 0, 0, {},
+             "entry process " + e.to_string() + " is not defined"});
+        continue;
+      }
+      if (reached.insert(e).second) work.push_back(e);
+    }
+    while (!work.empty()) {
+      ProcKey k = work.front();
+      work.pop_front();
+      auto it = cg.find(k);
+      if (it == cg.end()) continue;
+      for (const auto& callee : it->second) {
+        if (program.defines(callee) && reached.insert(callee).second) {
+          work.push_back(callee);
+        }
+      }
+    }
+    for (const auto& key : program.defined()) {
+      if (reached.count(key) != 0) continue;
+      const std::size_t ci = rules_of[key].front();
+      rep.diagnostics.push_back(
+          {Code::UnreachableProcess, Severity::Warning, key, ci, 0,
+           clauses[ci].span,
+           key.to_string() + " is defined but unreachable from the given "
+                             "entries"});
+    }
+  }
+
+  // Program order: sort by clause index, then by insertion (stable).
+  std::stable_sort(rep.diagnostics.begin(), rep.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.clause_index < b.clause_index;
+                   });
+  return rep;
+}
+
+}  // namespace motif::analysis

@@ -1,0 +1,110 @@
+// motiflint — a static analyzer for motif programs (term::Program).
+//
+// The paper's premise is that motifs are readable archives of expertise
+// whose correctness hinges on Strand's single-assignment discipline and
+// dataflow synchronisation. Those are source-level properties: a variable
+// with two definite writers will raise a bind error at run time on some
+// schedule; a variable that is consumed but has no possible producer is a
+// guaranteed suspension (deadlock); a call to an undefined process fails
+// on first reduction. This analyzer checks them before a program — and in
+// particular a composed transformation output M(A) = T(A) ∪ L — ever
+// runs.
+//
+// The core is a mode-inference fixpoint (infer_modes): for every defined
+// process and argument position it computes whether some rule may WRITE
+// the position (bind a caller's variable), may NEED it bound (head
+// pattern, guard test, arithmetic), or may let it ESCAPE into a data
+// structure whose eventual consumer is unknown. Variable occurrences in
+// each clause are then classified against these modes and the builtin
+// signature table (interp/builtins.hpp), and the checks read off the
+// classification. Escapes deliberately count as "possibly produced" and
+// never as "definitely written": the analysis over-approximates
+// producibility (so no-producer diagnostics are real deadlocks) and
+// under-approximates writers (so multiple-writer diagnostics are real
+// races), at the cost of missing some violations — the right polarity for
+// a linter.
+//
+// Exposed three ways: the motiflint CLI (tools/motiflint.cpp), the :lint
+// command in motifsh, and transform::validate() which the transform test
+// suites run on every T(A) ∪ L output.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "term/parser.hpp"
+#include "term/program.hpp"
+
+namespace motif::analysis {
+
+enum class Severity { Warning, Error };
+
+/// Stable diagnostic codes; the catalogue lives in LANGUAGE.md.
+enum class Code {
+  MultipleWriters,     // ML001: >1 potential writer (single-assignment)
+  NoProducer,          // ML002: consumed, but nothing can ever bind it
+  GuardUnbindable,     // ML003: guard waits on a non-head variable
+  UnknownProcess,      // ML010: call to an undefined process
+  ArityMismatch,       // ML011: name exists at a different arity
+  BuiltinRedefined,    // ML012: rule head collides with a builtin
+  UnreachableRule,     // ML020: subsumed by an earlier rule's head+guard
+  UnreachableProcess,  // ML021: not reachable from any --entry
+  OtherwisePosition,   // ML030: otherwise not alone/first in the guard
+  SingletonVariable,   // ML031: named variable used exactly once
+  BadPlacement,        // ML040: @ outside body position / bad node expr
+  UnknownGuard,        // ML050: guard is not a recognised test
+  NonProcessGoal,      // ML051: body goal is not callable (list, number..)
+};
+
+const char* code_id(Code c);     // "ML001"
+const char* code_slug(Code c);   // "multiple-writers"
+
+struct Diagnostic {
+  Code code = Code::UnknownProcess;
+  Severity severity = Severity::Error;
+  term::ProcKey definition;   // the definition whose rule is at fault
+  std::size_t clause_index = 0;  // index into Program::clauses()
+  std::size_t rule_index = 0;    // 0-based rule number within definition
+  term::SourceSpan span;         // invalid for synthesized clauses
+  std::string message;
+
+  /// "2:1: error: ML001 multiple-writers: ... [p/2 rule 1]"
+  std::string to_string() const;
+};
+
+struct Options {
+  /// Roots for the reachability check (ML021). Empty = skip the check.
+  std::vector<term::ProcKey> entries;
+  /// Processes assumed defined elsewhere (e.g. supplied by a later link
+  /// stage): calls to them are neither unknown nor mode-checked.
+  std::vector<term::ProcKey> assume_defined;
+  /// Emit ML031 singleton warnings.
+  bool singletons = true;
+};
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  std::size_t errors() const;
+  std::size_t warnings() const;
+  bool ok() const { return errors() == 0; }      // may still have warnings
+  bool clean() const { return diagnostics.empty(); }
+  std::string to_string() const;                 // one line per diagnostic
+};
+
+/// Inferred modes of one defined process, per argument position.
+struct ProcModes {
+  std::vector<bool> writes;    // some rule definitely binds this position
+  std::vector<bool> may_bind;  // writes, or escapes where it could be bound
+  std::vector<bool> needs;     // some rule requires it bound to progress
+};
+using ModeTable = std::map<term::ProcKey, ProcModes>;
+
+/// The mode-inference fixpoint on its own (exposed for tests and tools).
+ModeTable infer_modes(const term::Program& program, const Options& = {});
+
+/// Runs every check and returns the full report, program order.
+Report analyze(const term::Program& program, const Options& = {});
+
+}  // namespace motif::analysis

@@ -1,0 +1,60 @@
+#include "interp/builtins.hpp"
+
+namespace motif::interp {
+
+const std::vector<BuiltinSig>& builtin_signatures() {
+  static const std::vector<BuiltinSig> kTable = {
+      {":=", 2, "od", "assign: unify lhs with rhs (arith rhs evaluated)"},
+      {"=", 2, "od", "alias of :="},
+      {"is", 2, "ox", "arithmetic assignment"},
+      {"<", 2, "xx", "numeric less-than (assertion in bodies)"},
+      {">", 2, "xx", "numeric greater-than"},
+      {"=<", 2, "xx", "numeric at-most"},
+      {">=", 2, "xx", "numeric at-least"},
+      {"=:=", 2, "xx", "numeric equality"},
+      {"=\\=", 2, "xx", "numeric inequality"},
+      {"==", 2, "ii", "structural equality"},
+      {"\\==", 2, "ii", "structural inequality"},
+      {"length", 2, "io", "list length"},
+      {"rand_num", 2, "xo", "uniform integer in 1..N (per-node RNG)"},
+      {"make_ports", 3, "xoo", "N merge ports + merged stream"},
+      {"distribute", 3, "xdi", "send message to server J via the DT tuple"},
+      {"send_all", 2, "di", "broadcast message to every port in the tuple"},
+      {"make_tuple", 2, "io", "list -> tuple"},
+      {"arg", 3, "xio", "J-th element of a tuple"},
+      {"nodes_total", 1, "o", "machine size"},
+      {"current_node", 1, "o", "executing node, 1-based"},
+      {"write", 1, "d", "print a term"},
+      {"writeln", 1, "d", "print a term + newline"},
+      {"work", 1, "x", "burn N units of synthetic low-level computation"},
+      {"true", 0, "", "no-op"},
+  };
+  return kTable;
+}
+
+const BuiltinSig* find_builtin(std::string_view name, std::size_t arity) {
+  for (const auto& sig : builtin_signatures()) {
+    if (sig.name == name && sig.arity == arity) return &sig;
+  }
+  return nullptr;
+}
+
+bool is_comparison(std::string_view name, std::size_t arity) {
+  if (arity != 2) return false;
+  return name == "<" || name == ">" || name == "=<" || name == ">=" ||
+         name == "==" || name == "=\\=" || name == "\\==" || name == "=:=";
+}
+
+bool is_type_test(std::string_view name, std::size_t arity) {
+  if (arity != 1) return false;
+  return name == "integer" || name == "float" || name == "number" ||
+         name == "string" || name == "atom" || name == "list" ||
+         name == "tuple" || name == "compound" || name == "data";
+}
+
+bool is_guard_test(std::string_view name, std::size_t arity) {
+  if (arity == 0 && (name == "true" || name == "otherwise")) return true;
+  return is_comparison(name, arity) || is_type_test(name, arity);
+}
+
+}  // namespace motif::interp

@@ -1,0 +1,49 @@
+// The shared builtin/guard signature tables: the single source of truth
+// for which names the interpreter executes natively, with the argument
+// modes the static analyzer (src/analysis) needs to reason about
+// producers and consumers. interp.cpp dispatches off this table (a goal
+// not listed here is a user process), and motiflint reads the mode
+// strings to classify every variable occurrence.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace motif::interp {
+
+/// One builtin process signature. `modes` has one character per argument:
+///
+///   'i'  input: the builtin suspends until this argument is bound (or
+///        walks its spine, binding nothing) — a top-level variable here
+///        is a consumer that must have a producer elsewhere;
+///   'x'  arithmetic expression: every variable inside must become bound;
+///   'o'  output: delivered by unification — variables inside are written;
+///   'd'  data: read as a value, never awaited and never bound (message
+///        payloads, printed terms) — variables inside escape into data.
+struct BuiltinSig {
+  std::string_view name;
+  std::size_t arity;
+  std::string_view modes;  // one char per argument
+  std::string_view summary;
+};
+
+/// All builtin signatures, in documentation order.
+const std::vector<BuiltinSig>& builtin_signatures();
+
+/// Lookup by name/arity; nullptr if not a builtin.
+const BuiltinSig* find_builtin(std::string_view name, std::size_t arity);
+
+/// Comparison tests usable in guards and (as assertions) in bodies:
+/// < > =< >= =:= =\= on numbers, == \== structurally.
+bool is_comparison(std::string_view name, std::size_t arity);
+
+/// Type tests usable in guards: integer/float/number/string/atom/list/
+/// tuple/compound/data, all arity 1.
+bool is_type_test(std::string_view name, std::size_t arity);
+
+/// Any goal the guard evaluator accepts: true, otherwise, comparisons,
+/// type tests.
+bool is_guard_test(std::string_view name, std::size_t arity);
+
+}  // namespace motif::interp

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "interp/arith.hpp"
+#include "interp/builtins.hpp"
 #include "term/subst.hpp"
 #include "term/writer.hpp"
 
@@ -80,12 +81,6 @@ RuleOutcome head_match(const Term& pattern, const Term& value,
   return RuleOutcome::Fail;
 }
 
-bool is_comparison(const std::string& f, std::size_t arity) {
-  if (arity != 2) return false;
-  return f == "<" || f == ">" || f == "=<" || f == ">=" || f == "==" ||
-         f == "=\\=" || f == "\\==" || f == "=:=";
-}
-
 }  // namespace
 
 struct Interp::Impl {
@@ -105,10 +100,16 @@ struct Interp::Impl {
   std::atomic<std::uint64_t> reductions{0};
   std::atomic<std::uint64_t> suspensions{0};
 
-  // Registry of currently suspended processes, for deadlock diagnostics.
+  // Registry of currently suspended processes, for deadlock diagnostics:
+  // the goal text plus the variable it is waiting on, so runtime reports
+  // cross-reference motiflint's producer diagnostics.
+  struct SuspendedEntry {
+    std::string goal;
+    std::string var;
+  };
   std::mutex susp_m;
   std::uint64_t next_susp_id = 0;
-  std::map<std::uint64_t, std::string> suspended;
+  std::map<std::uint64_t, SuspendedEntry> suspended;
 
   // Ports: multi-producer appenders onto term-level message streams (the
   // `merge` primitive of the Server motif). A port term is '$port'(Id).
@@ -143,7 +144,10 @@ struct Interp::Impl {
     {
       std::lock_guard lock(susp_m);
       id = next_susp_id++;
-      suspended.emplace(id, term::format_term(goal));
+      Term v = var.deref();
+      suspended.emplace(
+          id, SuspendedEntry{term::format_term(goal),
+                             v.is_var() ? v.var_name() : std::string()});
     }
     const rt::NodeId node = rt::Machine::current_node() == rt::kNoNode
                                 ? 0
@@ -437,6 +441,10 @@ struct Interp::Impl {
   bool try_builtin(const Term& g) {
     const std::string& f = g.functor();
     const std::size_t n = g.arity();
+
+    // The shared signature table (builtins.hpp) is authoritative: a goal
+    // not listed there is a user process.
+    if (find_builtin(f, n) == nullptr) return false;
 
     if ((f == ":=" || f == "=") && n == 2) {
       builtin_assign(g.arg(0), g.arg(1), /*strict_arith=*/false, g);
@@ -795,7 +803,9 @@ RunResult Interp::run(const Term& goal) {
     r.still_suspended = impl_->suspended.size();
     for (const auto& [id, desc] : impl_->suspended) {
       if (r.stuck_goals.size() >= 16) break;
-      r.stuck_goals.push_back(desc);
+      std::string line = desc.goal;
+      if (!desc.var.empty()) line += "  (waiting on " + desc.var + ")";
+      r.stuck_goals.push_back(std::move(line));
     }
   }
   for (const auto& [key, entry] : impl_->defs) {

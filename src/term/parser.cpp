@@ -277,6 +277,8 @@ class Parser {
   Clause clause() {
     vars_.clear();
     Clause c;
+    c.span.line = cur_.line;
+    c.span.col = cur_.col;
     c.head = expr(kMaxPrec);
     if (!(c.head.is_atom() || c.head.is_compound()) || c.head.is_cons() ||
         c.head.is_tuple()) {
@@ -293,6 +295,8 @@ class Parser {
         c.body = std::move(first);
       }
     }
+    c.span.end_line = cur_.line;
+    c.span.end_col = cur_.col + 1;  // past the terminating '.'
     expect(Tok::ClauseEnd, "'.'");
     return c;
   }

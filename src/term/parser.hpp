@@ -32,12 +32,26 @@ class ParseError : public std::runtime_error {
   int col;
 };
 
+/// Source location of a clause: [line:col, end_line:end_col], 1-based.
+/// Clauses synthesized by transformations have no span (valid() == false).
+struct SourceSpan {
+  int line = 0;
+  int col = 0;
+  int end_line = 0;
+  int end_col = 0;
+  bool valid() const { return line > 0; }
+  std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
 /// One guarded rule. (Named Clause here; Program in program.hpp aggregates
 /// clauses into process definitions.)
 struct Clause {
   Term head;
   std::vector<Term> guard;
   std::vector<Term> body;
+  SourceSpan span;  // where the clause came from, if parsed
 };
 
 /// Parses a whole source text into clauses, in order.

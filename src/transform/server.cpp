@@ -42,31 +42,41 @@ Motif server_motif() {
       nc.guard = c.guard;
       FreshNamer namer(c);
       // The unique additional variable for this clause.
-      Term dt = head_needs ? namer.fresh("DT") : Term::var("DT");
-      nc.head = head_needs ? with_extra_arg(c.head, dt) : c.head;
+      Term dt = namer.fresh("DT");
+      bool dt_used = false;
       for (const Term& goal : c.body) {
         GoalView v = term::strip_placement(goal);
         Term g = v.goal.deref();
         Term rewritten = g;
         if (g.is_atom() && g.functor() == "halt") {
           rewritten = Term::compound("send_all", {Term::atom("halt"), dt});
+          dt_used = true;
         } else if (g.is_compound() && g.functor() == "send" &&
                    g.arity() == 2) {
           rewritten =
               Term::compound("distribute", {g.arg(0), g.arg(1), dt});
+          dt_used = true;
         } else if (g.is_compound() && g.functor() == "nodes" &&
                    g.arity() == 1) {
           rewritten = Term::compound("length", {dt, g.arg(0)});
+          dt_used = true;
         } else if ((g.is_atom() || g.is_compound()) && !g.is_cons() &&
                    !g.is_tuple() &&
                    dt_defs.count(ProcKey{g.functor(), g.arity()}) > 0) {
           rewritten = with_extra_arg(g, dt);
+          dt_used = true;
         }
         if (v.annotated) {
           rewritten = Term::compound("@", {rewritten, v.placement});
         }
         nc.body.push_back(rewritten);
       }
+      // Threaded heads take DT; rules whose body never touches it (e.g.
+      // the halt rule `server([halt|_],_)`) take an anonymous slot, so
+      // the output stays singleton-free.
+      nc.head = head_needs
+                    ? with_extra_arg(c.head, dt_used ? dt : Term::var("_"))
+                    : c.head;
       out.add(std::move(nc));
     }
     return out;

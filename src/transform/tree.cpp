@@ -135,7 +135,7 @@ Motif tree_reduce2_motif() {
 
     handle(none, Id, Side, V, _, Pending1, Pending2, _) :-
         Pending2 := [pend(Id,Side,V)|Pending1].
-    handle(found(S0,V0), Id, Side, V, NT, Pending1, Pending2, Soln) :-
+    handle(found(_,V0), Id, Side, V, NT, Pending1, Pending2, Soln) :-
         Pending2 := Pending1,
         order(Side, V, V0, LV, RV),
         arg(Id, NT, entry(Op,ParentId,ParentLab,MySide)),

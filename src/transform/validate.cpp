@@ -1,0 +1,21 @@
+#include "transform/validate.hpp"
+
+#include <stdexcept>
+
+namespace motif::transform {
+
+analysis::Report validate(const term::Program& program,
+                          const analysis::Options& options) {
+  return analysis::analyze(program, options);
+}
+
+void validate_or_throw(const term::Program& program,
+                       const analysis::Options& options) {
+  analysis::Report report = validate(program, options);
+  if (!report.ok()) {
+    throw std::runtime_error("transform output fails validation:\n" +
+                             report.to_string());
+  }
+}
+
+}  // namespace motif::transform

@@ -1,0 +1,26 @@
+// transform::validate — the analyzer hook for transformation outputs.
+//
+// A motif application M(A) = T(A) ∪ L is only trustworthy if the composed
+// program still respects the language's static discipline: every process
+// resolvable, arities consistent, single-assignment not violated by the
+// threading the transformations add, no rule made unreachable by a
+// library rule. validate() runs motiflint (src/analysis) over a program;
+// the transform test suites assert it on every output they produce.
+#pragma once
+
+#include "analysis/lint.hpp"
+#include "term/program.hpp"
+
+namespace motif::transform {
+
+/// Lints `program` and returns the full report. A well-moded
+/// transformation output is `clean()`: no errors and no warnings.
+analysis::Report validate(const term::Program& program,
+                          const analysis::Options& options = {});
+
+/// Throws std::runtime_error listing the diagnostics if `program` has any
+/// error-class findings (warnings pass).
+void validate_or_throw(const term::Program& program,
+                       const analysis::Options& options = {});
+
+}  // namespace motif::transform

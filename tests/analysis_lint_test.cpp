@@ -1,0 +1,340 @@
+// Unit tests for the motiflint analyzer (src/analysis): one seeded
+// negative per diagnostic class, the precision polarity (escapes are
+// possible producers but never definite writers), span/rule attribution,
+// and the mode-inference fixpoint itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/lint.hpp"
+#include "term/program.hpp"
+
+namespace an = motif::analysis;
+using an::Code;
+using an::Severity;
+using motif::term::ProcKey;
+using motif::term::Program;
+
+namespace {
+
+an::Report lint(const std::string& src, an::Options opts = {}) {
+  return an::analyze(Program::parse(src), opts);
+}
+
+std::size_t count_code(const an::Report& r, Code c) {
+  return static_cast<std::size_t>(
+      std::count_if(r.diagnostics.begin(), r.diagnostics.end(),
+                    [&](const an::Diagnostic& d) { return d.code == c; }));
+}
+
+const an::Diagnostic* find_code(const an::Report& r, Code c) {
+  for (const auto& d : r.diagnostics) {
+    if (d.code == c) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(Lint, CleanProducerConsumerIsClean) {
+  auto r = lint(
+      "go(N) :- producer(N,Xs), consumer(Xs).\n"
+      "producer(0,Xs) :- Xs := [].\n"
+      "producer(N,Xs) :- N > 0 |"
+      " Xs := [N|Xs1], N1 is N - 1, producer(N1,Xs1).\n"
+      "consumer([]).\n"
+      "consumer([X|Xs]) :- data(X) | consumer(Xs).\n");
+  EXPECT_TRUE(r.clean()) << r.to_string();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.errors(), 0u);
+  EXPECT_EQ(r.warnings(), 0u);
+}
+
+TEST(Lint, MultipleDefiniteWriters) {
+  auto r = lint("twice(X) :- X := 1, X := 2.\n");
+  const auto* d = find_code(r, Code::MultipleWriters);
+  ASSERT_NE(d, nullptr) << r.to_string();
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->definition, (ProcKey{"twice", 1}));
+  EXPECT_NE(d->message.find("X"), std::string::npos);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Lint, DefiniteWriterPlusCalleeWriter) {
+  auto r = lint(
+      "p(X) :- X := 1, q(X).\n"
+      "q(Y) :- Y := 2.\n");
+  EXPECT_EQ(count_code(r, Code::MultipleWriters), 1u) << r.to_string();
+}
+
+TEST(Lint, TwoCalleeWritersAreNotFlagged) {
+  // Deliberate imprecision: threaded-state positions (e.g. the solution
+  // cell in tree_reduce2) look like several callee writers of which at
+  // most one fires. Flag only combinations with a definite local writer.
+  auto r = lint(
+      "p(V) :- q(V), q(V).\n"
+      "q(X) :- X := 1.\n");
+  EXPECT_EQ(count_code(r, Code::MultipleWriters), 0u) << r.to_string();
+}
+
+TEST(Lint, AliasRhsIsEscapeNotWrite) {
+  // X1 := Y and X2 := Y both read Y (the RHS is data, not an arithmetic
+  // expression); this must not count as two writers of Y.
+  auto r = lint("p(X1,X2,Y) :- X1 := Y, X2 := Y.\n");
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+TEST(Lint, NoProducerForConsumedVariable) {
+  // length/2 needs its first argument bound; nothing can ever bind Xs.
+  auto r = lint(
+      "hang(N) :- length(Xs,M), N := M, sink(Xs).\n"
+      "sink(_).\n");
+  const auto* d = find_code(r, Code::NoProducer);
+  ASSERT_NE(d, nullptr) << r.to_string();
+  EXPECT_NE(d->message.find("Xs"), std::string::npos);
+}
+
+TEST(Lint, EscapedVariableCountsAsProducible) {
+  // Xs escapes into make(Xs) whose definition binds it: no ML002.
+  auto r = lint(
+      "go(N) :- make(Xs), length(Xs,N).\n"
+      "make(Xs) :- Xs := [a,b].\n");
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+TEST(Lint, GuardVariableNotInHead) {
+  // Guards run before the body: a body binding cannot wake this guard.
+  auto r = lint(
+      "guardy(X) :- Y > 0 | use(X,Y).\n"
+      "use(_,_).\n");
+  const auto* d = find_code(r, Code::GuardUnbindable);
+  ASSERT_NE(d, nullptr) << r.to_string();
+  EXPECT_NE(d->message.find("Y"), std::string::npos);
+}
+
+TEST(Lint, UnknownProcess) {
+  auto r = lint("caller :- missing(1).\n");
+  const auto* d = find_code(r, Code::UnknownProcess);
+  ASSERT_NE(d, nullptr) << r.to_string();
+  EXPECT_NE(d->message.find("missing/1"), std::string::npos);
+}
+
+TEST(Lint, AssumeDefinedSuppressesUnknownProcess) {
+  an::Options opts;
+  opts.assume_defined.push_back({"missing", 1});
+  auto r = lint("caller :- missing(1).\n", opts);
+  EXPECT_EQ(count_code(r, Code::UnknownProcess), 0u) << r.to_string();
+}
+
+TEST(Lint, ArityMismatch) {
+  auto r = lint(
+      "wrong :- use(1,2).\n"
+      "use(_).\n");
+  const auto* d = find_code(r, Code::ArityMismatch);
+  ASSERT_NE(d, nullptr) << r.to_string();
+  EXPECT_EQ(count_code(r, Code::UnknownProcess), 0u);
+}
+
+TEST(Lint, BuiltinRedefined) {
+  auto r = lint("length(X,Y) :- Y := X.\n");
+  EXPECT_NE(find_code(r, Code::BuiltinRedefined), nullptr) << r.to_string();
+}
+
+TEST(Lint, UnreachableRuleSubsumedByEarlier) {
+  auto r = lint(
+      "dup(a).\n"
+      "dup(X) :- use(X).\n"
+      "dup(b) :- use(b).\n"
+      "use(_).\n");
+  const auto* d = find_code(r, Code::UnreachableRule);
+  ASSERT_NE(d, nullptr) << r.to_string();
+  EXPECT_EQ(d->definition, (ProcKey{"dup", 1}));
+  EXPECT_EQ(d->rule_index, 2u);
+  EXPECT_EQ(d->clause_index, 2u);
+}
+
+TEST(Lint, GuardedEarlierRuleDoesNotSubsume) {
+  // Rule 1 can fail its guard at run time, so rule 2 stays reachable.
+  auto r = lint(
+      "p(X) :- X > 0 | use(X).\n"
+      "p(X) :- use(X).\n"
+      "use(_).\n");
+  EXPECT_EQ(count_code(r, Code::UnreachableRule), 0u) << r.to_string();
+}
+
+TEST(Lint, RepeatedHeadVariableDoesNotSubsume) {
+  // take(X,X) only matches equal arguments; take(X,Y) is still reachable.
+  auto r = lint(
+      "take(X,X) :- use(X).\n"
+      "take(X,Y) :- use(X), use(Y).\n"
+      "use(_).\n");
+  EXPECT_EQ(count_code(r, Code::UnreachableRule), 0u) << r.to_string();
+}
+
+TEST(Lint, UnreachableProcessWithEntries) {
+  an::Options opts;
+  opts.entries.push_back({"main", 0});
+  auto r = lint(
+      "main :- p.\n"
+      "p.\n"
+      "orphan :- p.\n",
+      opts);
+  const auto* d = find_code(r, Code::UnreachableProcess);
+  ASSERT_NE(d, nullptr) << r.to_string();
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_EQ(d->definition, (ProcKey{"orphan", 0}));
+  EXPECT_TRUE(r.ok());  // warnings only
+}
+
+TEST(Lint, ReachabilitySkippedWithoutEntries) {
+  auto r = lint(
+      "main :- p.\n"
+      "p.\n"
+      "orphan :- p.\n");
+  EXPECT_EQ(count_code(r, Code::UnreachableProcess), 0u) << r.to_string();
+}
+
+TEST(Lint, UndefinedEntryIsAnError) {
+  an::Options opts;
+  opts.entries.push_back({"main", 2});
+  auto r = lint("p.\n", opts);
+  EXPECT_NE(find_code(r, Code::UnknownProcess), nullptr) << r.to_string();
+}
+
+TEST(Lint, OtherwiseMustLeadTheGuard) {
+  auto r = lint(
+      "p(X) :- X > 0, otherwise | use(X).\n"
+      "use(_).\n");
+  const auto* d = find_code(r, Code::OtherwisePosition);
+  ASSERT_NE(d, nullptr) << r.to_string();
+  EXPECT_EQ(d->severity, Severity::Warning);
+}
+
+TEST(Lint, SingletonVariableWarning) {
+  auto r = lint("lonely(X).\n");
+  const auto* d = find_code(r, Code::SingletonVariable);
+  ASSERT_NE(d, nullptr) << r.to_string();
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_NE(d->message.find("X"), std::string::npos);
+}
+
+TEST(Lint, UnderscorePrefixSuppressesSingleton) {
+  auto r = lint("lonely(_X).\n");
+  EXPECT_EQ(count_code(r, Code::SingletonVariable), 0u) << r.to_string();
+}
+
+TEST(Lint, SingletonsOptionDisablesWarning) {
+  an::Options opts;
+  opts.singletons = false;
+  auto r = lint("lonely(X).\n", opts);
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+TEST(Lint, BadPlacementAtomTarget) {
+  auto r = lint(
+      "placed :- use(1)@foo.\n"
+      "use(_).\n");
+  EXPECT_NE(find_code(r, Code::BadPlacement), nullptr) << r.to_string();
+}
+
+TEST(Lint, GoodPlacementForms) {
+  auto r = lint(
+      "p(N,X) :- use(1)@N, use(2)@random, use(3)@task,"
+      " use(4)@2, use(5)@(N mod 4), sink(X,N).\n"
+      "use(_).\n"
+      "sink(_,_).\n");
+  EXPECT_EQ(count_code(r, Code::BadPlacement), 0u) << r.to_string();
+}
+
+TEST(Lint, PlacementNestedInArgument) {
+  auto r = lint(
+      "p :- use(q@1).\n"
+      "use(_).\n"
+      "q.\n");
+  EXPECT_NE(find_code(r, Code::BadPlacement), nullptr) << r.to_string();
+}
+
+TEST(Lint, UnknownGuardTest) {
+  auto r = lint(
+      "p(X) :- frob(X) | use(X).\n"
+      "use(_).\n");
+  EXPECT_NE(find_code(r, Code::UnknownGuard), nullptr) << r.to_string();
+}
+
+TEST(Lint, SpanPointsAtTheClause) {
+  auto r = an::analyze(Program::parse(
+      "ok(X) :- X := 1.\n"
+      "twice(X) :- X := 1, X := 2.\n"));
+  const auto* d = find_code(r, Code::MultipleWriters);
+  ASSERT_NE(d, nullptr) << r.to_string();
+  ASSERT_TRUE(d->span.valid());
+  EXPECT_EQ(d->span.line, 2);
+  EXPECT_EQ(d->span.col, 1);
+  EXPECT_GE(d->span.end_line, 2);
+}
+
+TEST(Lint, DiagnosticToStringFormat) {
+  auto r = lint("twice(X) :- X := 1, X := 2.\n");
+  const auto* d = find_code(r, Code::MultipleWriters);
+  ASSERT_NE(d, nullptr);
+  const std::string s = d->to_string();
+  EXPECT_NE(s.find("ML001"), std::string::npos) << s;
+  EXPECT_NE(s.find("error"), std::string::npos) << s;
+  EXPECT_NE(s.find("twice/1"), std::string::npos) << s;
+}
+
+TEST(Lint, CodeIdsAndSlugsAreStable) {
+  EXPECT_STREQ(an::code_id(Code::MultipleWriters), "ML001");
+  EXPECT_STREQ(an::code_id(Code::NoProducer), "ML002");
+  EXPECT_STREQ(an::code_id(Code::UnknownProcess), "ML010");
+  EXPECT_STREQ(an::code_id(Code::UnreachableRule), "ML020");
+  EXPECT_STREQ(an::code_id(Code::SingletonVariable), "ML031");
+  EXPECT_STREQ(an::code_id(Code::BadPlacement), "ML040");
+  EXPECT_STREQ(an::code_slug(Code::MultipleWriters), "multiple-writers");
+  EXPECT_STREQ(an::code_slug(Code::NoProducer), "no-producer");
+}
+
+TEST(Lint, ReportOrderFollowsTheProgram) {
+  auto r = lint(
+      "twice(X) :- X := 1, X := 2.\n"
+      "caller :- missing(1).\n");
+  ASSERT_GE(r.diagnostics.size(), 2u);
+  for (std::size_t i = 1; i < r.diagnostics.size(); ++i) {
+    EXPECT_LE(r.diagnostics[i - 1].clause_index,
+              r.diagnostics[i].clause_index);
+  }
+}
+
+TEST(InferModes, DirectAndTransitiveWrites) {
+  auto table = an::infer_modes(Program::parse(
+      "p(X,Y) :- X := 1, q(Y).\n"
+      "q(Z) :- Z := 2.\n"));
+  const auto& p = table.at({"p", 2});
+  ASSERT_EQ(p.writes.size(), 2u);
+  EXPECT_TRUE(p.writes[0]);
+  EXPECT_TRUE(p.writes[1]);  // via q/1
+  EXPECT_TRUE(p.may_bind[0]);
+  EXPECT_TRUE(p.may_bind[1]);
+}
+
+TEST(InferModes, NeedsFromHeadPatternAndGuard) {
+  auto table = an::infer_modes(Program::parse(
+      "f(leaf(N),V) :- V := N.\n"
+      "g(X,Y) :- X > 0 | Y := X.\n"));
+  const auto& f = table.at({"f", 2});
+  EXPECT_TRUE(f.needs[0]);   // head pattern leaf(N)
+  EXPECT_FALSE(f.needs[1]);
+  const auto& g = table.at({"g", 2});
+  EXPECT_TRUE(g.needs[0]);   // guard consumes X
+  EXPECT_TRUE(g.writes[1]);
+}
+
+TEST(InferModes, EscapeIsMayBindButNotWrite) {
+  auto table = an::infer_modes(Program::parse(
+      "wrap(X,Y) :- Y := box(X).\n"));
+  const auto& w = table.at({"wrap", 2});
+  EXPECT_FALSE(w.writes[0]);
+  EXPECT_TRUE(w.may_bind[0]);  // escapes into the box
+  EXPECT_TRUE(w.writes[1]);
+}

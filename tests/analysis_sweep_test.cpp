@@ -1,0 +1,153 @@
+// The lint sweep: every program this repository ships — the stdlib, the
+// paper figures (figure_programs.hpp, also embedded by
+// examples/strand_motifs.cpp), and every transform-library output
+// M(A) = T(A) ∪ L exercised by the transform suites — must produce ZERO
+// motiflint diagnostics, warnings included. A regression here means a
+// library or transformation started emitting ill-moded code.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "figure_programs.hpp"
+#include "interp/stdlib.hpp"
+#include "lint_helpers.hpp"
+#include "term/program.hpp"
+#include "transform/motif.hpp"
+#include "transform/rand.hpp"
+#include "transform/sched.hpp"
+#include "transform/server.hpp"
+#include "transform/terminate.hpp"
+#include "transform/tree.hpp"
+
+namespace an = motif::analysis;
+namespace tf = motif::transform;
+using motif::term::ProcKey;
+using motif::term::Program;
+
+namespace {
+
+// The Figure 2 part A user program: the whole "application" of the
+// Figure 5/6 pipelines (and of examples/strand_motifs.cpp).
+Program user_eval() { return Program::parse(motif_figures::kEval); }
+
+}  // namespace
+
+TEST(LintSweep, Stdlib) {
+  EXPECT_TRUE(WellModed(motif::interp::stdlib()));
+}
+
+TEST(LintSweep, Figure1ProducerConsumer) {
+  EXPECT_TRUE(WellModed(Program::parse(motif_figures::kFigure1)));
+}
+
+TEST(LintSweep, EvalAlone) { EXPECT_TRUE(WellModed(user_eval())); }
+
+TEST(LintSweep, AbstractReduceWithEval) {
+  EXPECT_TRUE(WellModed(Program::parse(
+      std::string(motif_figures::kEval) + motif_figures::kAbstractReduce)));
+}
+
+TEST(LintSweep, Figure2ShapeServerNetwork) {
+  EXPECT_TRUE(WellModed(Program::parse(motif_figures::kFigure2Shape)));
+}
+
+TEST(LintSweep, Figure1LintsCleanUnderEntryCheck) {
+  // With the query root declared, the reachability pass must also agree
+  // that every figure definition is live.
+  an::Options opts;
+  opts.entries.push_back({"go", 1});
+  const auto report =
+      an::analyze(Program::parse(motif_figures::kFigure1), opts);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(LintSweep, ServerRandTree1Pipeline) {
+  EXPECT_TRUE(WellModed(
+      tf::compose_all({tf::server_motif(), tf::rand_motif(),
+                       tf::tree1_motif()})
+          .apply(user_eval())));
+}
+
+TEST(LintSweep, TreeReduce1) {
+  EXPECT_TRUE(WellModed(tf::tree_reduce1_motif().apply(user_eval())));
+}
+
+TEST(LintSweep, TreeReduce1Both) {
+  EXPECT_TRUE(WellModed(tf::tree_reduce1_both_motif().apply(user_eval())));
+}
+
+TEST(LintSweep, TreeReduce2Full) {
+  EXPECT_TRUE(WellModed(tf::tree_reduce2_full_motif().apply(user_eval())));
+}
+
+TEST(LintSweep, TreeReduce1Terminating) {
+  EXPECT_TRUE(
+      WellModed(tf::tree_reduce1_terminating_motif().apply(user_eval())));
+}
+
+TEST(LintSweep, ServerEchoApplication) {
+  const char* kApp = R"(
+    server([token(0,Done)|_]) :- Done := done, halt.
+    server([token(K,Done)|In]) :- K > 0 |
+        nodes(N), pick_next(K, N, Next),
+        K1 is K - 1,
+        send(Next, token(K1,Done)),
+        server(In).
+    server([halt|_]).
+    pick_next(K, N, Next) :- Next is (K mod N) + 1.
+  )";
+  EXPECT_TRUE(WellModed(tf::server_motif().apply(Program::parse(kApp))));
+}
+
+TEST(LintSweep, ServerNodesCountApplication) {
+  const char* kApp = R"(
+    server([count(C)|_]) :- nodes(C), halt.
+    server([halt|_]).
+  )";
+  EXPECT_TRUE(WellModed(tf::server_motif().apply(Program::parse(kApp))));
+}
+
+TEST(LintSweep, SchedSquaresPipeline) {
+  const char* kSquares = R"(
+    main(N, Rs) :- spawn_tasks(N, Rs), watch(Rs).
+    spawn_tasks(0, Rs) :- Rs := [].
+    spawn_tasks(N, Rs) :- N > 0 |
+        Rs := [R|Rs1],
+        square(N, R)@task,
+        N1 is N - 1,
+        spawn_tasks(N1, Rs1).
+    square(N, R) :- R is N * N.
+    watch([]) :- halt.
+    watch([R|Rs]) :- data(R) | watch(Rs).
+  )";
+  EXPECT_TRUE(WellModed(
+      tf::compose(tf::server_motif(), tf::sched_motif({ProcKey{"main", 2}}))
+          .apply(Program::parse(kSquares))));
+}
+
+TEST(LintSweep, SchedNestedPipeline) {
+  const char* kNested = R"(
+    main(Out) :- fanout(3, Out), finish(Out).
+    fanout(0, Out) :- Out := done.
+    fanout(N, Out) :- N > 0 | N1 is N - 1, fanout(N1, Out)@task.
+    finish(Out) :- data(Out) | halt.
+  )";
+  EXPECT_TRUE(WellModed(
+      tf::compose(tf::server_motif(), tf::sched_motif({ProcKey{"main", 1}}))
+          .apply(Program::parse(kNested))));
+}
+
+TEST(LintSweep, TerminateSprayPipeline) {
+  const char* kApp = R"(
+    spray(0).
+    spray(N) :- N > 0 |
+        N1 is N - 1,
+        spray(N1)@random,
+        spray(N1)@random.
+  )";
+  EXPECT_TRUE(WellModed(
+      tf::compose_all({tf::server_motif(),
+                       tf::rand_motif({ProcKey{"spray_tw", 1}}),
+                       tf::terminate_motif({"spray", 1})})
+          .apply(Program::parse(kApp))));
+}

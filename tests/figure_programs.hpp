@@ -1,0 +1,57 @@
+// The paper's program figures, shared between the interpreter tests
+// (interp_figures_test.cpp) and the motiflint sweep
+// (analysis_sweep_test.cpp), which asserts each lints clean.
+#pragma once
+
+namespace motif_figures {
+
+// Verbatim Figure 1 (rules R1-R5): the producer waits for each sync
+// acknowledgement through the dataflow constraint `sync` in the rule head.
+inline const char* kFigure1 = R"(
+  go(N) :- producer(N,Xs,sync), consumer(Xs).
+  producer(N,Xs,sync) :- N > 0 |
+      Xs := [X|Xs1], N1 is N - 1, producer(N1,Xs1,X).
+  producer(0,Xs,_) :- Xs := [].
+  consumer([X|Xs]) :- X := sync, consumer(Xs).
+  consumer([]).
+)";
+
+// Figure 2 part A: the node-evaluation function (also the whole "user
+// program" of the Figure 5/6 pipeline and examples/strand_motifs).
+inline const char* kEval = R"(
+  eval('+',L,R,Value) :- Value is L + R.
+  eval('*',L,R,Value) :- Value is L * R.
+)";
+
+// Section 3.1: the "more abstract" divide-and-conquer tree reduction
+// with the @random pragma. Links with kEval.
+inline const char* kAbstractReduce = R"(
+  reduce(tree(V,L,R),Value) :-
+      reduce(R,RV)@random, reduce(L,LV), eval(V,LV,RV,Value).
+  reduce(leaf(L),Value) :- Value := L.
+)";
+
+// Figure 2 parts A-C shape, adapted to the port-based merge primitive: a
+// server network where reduce ships one subtree to a random server via
+// distribute/3, exactly like the transformed program of Figure 5.
+inline const char* kFigure2Shape = R"(
+  eval('+',L,R,Value) :- Value is L + R.
+  eval('*',L,R,Value) :- Value is L * R.
+
+  reduce(tree(V,L,R),Value,DT) :-
+      length(DT,N), rand_num(N,O),
+      distribute(O,reduce(R,RV),DT),
+      reduce(L,LV,DT), eval(V,LV,RV,Value).
+  reduce(leaf(L),Value,_) :- Value := L.
+
+  server([reduce(T,V)|In],DT) :- reduce(T,V,DT), server(In,DT).
+  server([halt|_],_).
+
+  go(Tree,Value) :-
+      make_ports(2,Ports,[I1,I2]), make_tuple(Ports,DT),
+      server(I1,DT)@1, server(I2,DT)@2,
+      reduce(Tree,Value,DT), finish(Value,DT).
+  finish(V,DT) :- data(V) | send_all(halt,DT).
+)";
+
+}  // namespace motif_figures

@@ -128,6 +128,9 @@ TEST(Interp, DeadlockDetected) {
   EXPECT_EQ(r.still_suspended, 1u);
   ASSERT_FALSE(r.stuck_goals.empty());
   EXPECT_NE(r.stuck_goals[0].find("p("), std::string::npos);
+  // The report names the dataflow variable the goal is blocked on.
+  EXPECT_NE(r.stuck_goals[0].find("(waiting on "), std::string::npos)
+      << r.stuck_goals[0];
 }
 
 TEST(Interp, OtherwiseCommitsWhenEarlierRulesFail) {

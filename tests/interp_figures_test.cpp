@@ -9,6 +9,7 @@
 //  * Figure 2 parts A-C shape: reduce/eval/server with explicit streams.
 #include <gtest/gtest.h>
 
+#include "figure_programs.hpp"
 #include "interp/interp.hpp"
 #include "term/parser.hpp"
 #include "term/writer.hpp"
@@ -19,30 +20,11 @@ using in::InterpOptions;
 using motif::term::parse_term;
 using motif::term::Program;
 using motif::term::Term;
+using motif_figures::kAbstractReduce;
+using motif_figures::kEval;
+using motif_figures::kFigure1;
 
 namespace {
-
-// Verbatim Figure 1 (rules R1-R5): the producer waits for each sync
-// acknowledgement through the dataflow constraint `sync` in the rule head.
-const char* kFigure1 = R"(
-  go(N) :- producer(N,Xs,sync), consumer(Xs).
-  producer(N,Xs,sync) :- N > 0 |
-      Xs := [X|Xs1], N1 is N - 1, producer(N1,Xs1,X).
-  producer(0,Xs,_) :- Xs := [].
-  consumer([X|Xs]) :- X := sync, consumer(Xs).
-  consumer([]).
-)";
-
-const char* kEval = R"(
-  eval('+',L,R,Value) :- Value is L + R.
-  eval('*',L,R,Value) :- Value is L * R.
-)";
-
-const char* kAbstractReduce = R"(
-  reduce(tree(V,L,R),Value) :-
-      reduce(R,RV)@random, reduce(L,LV), eval(V,LV,RV,Value).
-  reduce(leaf(L),Value) :- Value := L.
-)";
 
 InterpOptions nodes(std::uint32_t n) {
   InterpOptions o;
@@ -135,29 +117,11 @@ TEST(AbstractReduce, BalancedTreeAcrossManyNodes) {
 }
 
 TEST(Figure2Shape, ServerWithExplicitStreamsReducesTree) {
-  // Parts A-C of Figure 2, adapted to the port-based merge primitive: a
-  // server network where reduce ships one subtree to a random server via
-  // distribute/3, exactly like the transformed program of Figure 5.
-  const char* src = R"(
-    eval('+',L,R,Value) :- Value is L + R.
-    eval('*',L,R,Value) :- Value is L * R.
-
-    reduce(tree(V,L,R),Value,DT) :-
-        length(DT,N), rand_num(N,O),
-        distribute(O,reduce(R,RV),DT),
-        reduce(L,LV,DT), eval(V,LV,RV,Value).
-    reduce(leaf(L),Value,_) :- Value := L.
-
-    server([reduce(T,V)|In],DT) :- reduce(T,V,DT), server(In,DT).
-    server([halt|_],_).
-
-    go(Tree,Value) :-
-        make_ports(2,Ports,[I1,I2]), make_tuple(Ports,DT),
-        server(I1,DT)@1, server(I2,DT)@2,
-        reduce(Tree,Value,DT), finish(Value,DT).
-    finish(V,DT) :- data(V) | send_all(halt,DT).
-  )";
-  Interp i(Program::parse(src), nodes(2));
+  // Parts A-C of Figure 2, adapted to the port-based merge primitive
+  // (figure_programs.hpp): a server network where reduce ships one
+  // subtree to a random server via distribute/3, exactly like the
+  // transformed program of Figure 5.
+  Interp i(Program::parse(motif_figures::kFigure2Shape), nodes(2));
   auto [goal, r] = i.run_query("go(" + paper_tree() + ",Value)");
   EXPECT_EQ(goal.arg(1).int_value(), 24);
   EXPECT_FALSE(r.deadlocked()) << (r.stuck_goals.empty()

@@ -1,0 +1,14 @@
+// Shared assertion for the transform suites: a motif application output
+// M(A) = T(A) ∪ L must stay well-moded — zero motiflint diagnostics.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "term/program.hpp"
+#include "transform/validate.hpp"
+
+inline ::testing::AssertionResult WellModed(const motif::term::Program& p) {
+  const auto report = motif::transform::validate(p);
+  if (report.clean()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "\n" << report.to_string();
+}

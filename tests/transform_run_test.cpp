@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "interp/interp.hpp"
+#include "lint_helpers.hpp"
 #include "term/parser.hpp"
 #include "transform/motif.hpp"
 #include "transform/rand.hpp"
@@ -56,6 +57,7 @@ TEST(TreeReduce1Run, PaperTreeWithoutTermination) {
   Program p = tf::compose_all({tf::server_motif(), tf::rand_motif(),
                                tf::tree1_motif()})
                   .apply(Program::parse(kUserEval));
+  EXPECT_TRUE(WellModed(p));
   Interp i(p, nodes(2));
   auto [goal, r] =
       i.run_query("create(2, reduce(" + paper_tree() + ",Value))");
@@ -66,6 +68,7 @@ TEST(TreeReduce1Run, PaperTreeWithoutTermination) {
 
 TEST(TreeReduce1Run, PaperTreeWithTerminatingDriver) {
   Program p = tf::tree_reduce1_motif().apply(Program::parse(kUserEval));
+  EXPECT_TRUE(WellModed(p));
   Interp i(p, nodes(2));
   auto [goal, r] = i.run_query("create(2, run(" + paper_tree() + ",Value))");
   EXPECT_EQ(goal.arg(1).arg(1).int_value(), 24);
@@ -86,6 +89,7 @@ TEST(TreeReduce1Run, LargeTreeManyServers) {
 
 TEST(TreeReduce2Run, PaperTree) {
   Program p = tf::tree_reduce2_full_motif().apply(Program::parse(kUserEval));
+  EXPECT_TRUE(WellModed(p));
   Interp i(p, nodes(4));
   auto [goal, r] =
       i.run_query("create(4, start(" + paper_tree() + ",Value))");
@@ -145,6 +149,8 @@ TEST(TreeReduce1BothRun, ModifiedMotifSameInterfaceMoreShipping) {
   Program user = Program::parse(kUserEval);
   Program orig = tf::tree_reduce1_motif().apply(user);
   Program both = tf::tree_reduce1_both_motif().apply(user);
+  EXPECT_TRUE(WellModed(orig));
+  EXPECT_TRUE(WellModed(both));
 
   Interp i1(orig, nodes(4));
   auto [g1, r1] = i1.run_query("create(4, run(" + sum_tree(64) + ",V))");
@@ -173,6 +179,7 @@ TEST(ServerMotifRun, EchoServerApplication) {
     pick_next(K, N, Next) :- Next is (K mod N) + 1.
   )";
   Program p = tf::server_motif().apply(Program::parse(kApp));
+  EXPECT_TRUE(WellModed(p));
   Interp i(p, nodes(3));
   auto [goal, r] = i.run_query("create(3, token(10,Done))");
   EXPECT_EQ(goal.arg(1).arg(1).functor(), "done");
@@ -186,6 +193,7 @@ TEST(ServerMotifRun, NodesReportsServerCount) {
     server([halt|_]).
   )";
   Program p = tf::server_motif().apply(Program::parse(kApp));
+  EXPECT_TRUE(WellModed(p));
   Interp i(p, nodes(5));
   auto [goal, r] = i.run_query("create(5, count(C))");
   EXPECT_EQ(goal.arg(1).arg(0).int_value(), 5);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "interp/interp.hpp"
+#include "lint_helpers.hpp"
 #include "transform/motif.hpp"
 #include "transform/sched.hpp"
 #include "transform/server.hpp"
@@ -90,6 +91,7 @@ TEST(SchedRun, SquaresComputedByWorkers) {
       tf::compose(tf::server_motif(),
                   tf::sched_motif({ProcKey{"main", 2}}))
           .apply(Program::parse(kSquares));
+  EXPECT_TRUE(WellModed(full));
   in::Interp interp(full, nodes(4));
   auto [goal, r] = interp.run_query("create(4, task(main(10, Rs)))");
   EXPECT_FALSE(r.deadlocked())
@@ -133,6 +135,7 @@ TEST(SchedRun, NestedTaskSpawning) {
       tf::compose(tf::server_motif(),
                   tf::sched_motif({ProcKey{"main", 1}}))
           .apply(Program::parse(kNested));
+  EXPECT_TRUE(WellModed(full));
   in::Interp interp(full, nodes(3));
   auto [goal, r] = interp.run_query("create(3, task(main(Out)))");
   EXPECT_FALSE(r.deadlocked())

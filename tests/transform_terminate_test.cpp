@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "interp/interp.hpp"
+#include "lint_helpers.hpp"
 #include "term/parser.hpp"
 #include "transform/motif.hpp"
 #include "transform/rand.hpp"
@@ -95,6 +96,7 @@ TEST(TerminateRun, TreeReductionHaltsWithBoundValue) {
       "eval('+',L,R,Value) :- Value is L + R.\n"
       "eval('*',L,R,Value) :- Value is L * R.\n");
   Program full = tf::tree_reduce1_terminating_motif().apply(user);
+  EXPECT_TRUE(WellModed(full));
   in::Interp interp(full, nodes(4));
   auto [goal, r] = interp.run_query(
       "create(4, reduce_tw(" + sum_tree(64) + ",Value))");
@@ -135,6 +137,7 @@ TEST(TerminateRun, SideEffectOnlyApplicationStillTerminates) {
            tf::rand_motif({ProcKey{"spray_tw", 1}}),
            tf::terminate_motif({"spray", 1})})
           .apply(Program::parse(kApp));
+  EXPECT_TRUE(WellModed(transformed));
   in::Interp interp(transformed, nodes(4));
   auto [goal, r] = interp.run_query("create(4, spray_tw(6))");
   // All 4 servers received halt and stopped: nothing is suspended.

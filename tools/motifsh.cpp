@@ -32,6 +32,7 @@
 
 #include "runtime/trace.hpp"
 
+#include "analysis/lint.hpp"
 #include "interp/interp.hpp"
 #include "interp/stdlib.hpp"
 #include "term/program.hpp"
@@ -243,6 +244,20 @@ struct Shell {
       }
       return true;
     }
+    if (cmd == "lint") {
+      motif::analysis::Options opts;
+      opts.entries = parse_keys(rest);  // optional: :lint main/2 ...
+      const auto report = motif::analysis::analyze(program, opts);
+      std::cout << report.to_string();
+      if (report.clean()) {
+        std::cout << "lint: clean (" << program.clauses().size()
+                  << " clauses)\n";
+      } else {
+        std::cout << "lint: " << report.errors() << " error(s), "
+                  << report.warnings() << " warning(s)\n";
+      }
+      return true;
+    }
     if (cmd == "profile") {
       if (!had_run) {
         std::cout << "no run yet\n";
@@ -255,8 +270,8 @@ struct Shell {
     }
     if (cmd == "help" || cmd == "h") {
       std::cout << ":load FILE | :stdlib | :apply MOTIF [keys] | :list | "
-                   ":clear | :nodes N | :run GOAL | :profile | "
-                   ":trace on|off|dump [file] | :quit\n"
+                   ":lint [entry/k ...] | :clear | :nodes N | :run GOAL | "
+                   ":profile | :trace on|off|dump [file] | :quit\n"
                    "bare lines are parsed as clauses and added\n";
       return true;
     }

@@ -1,0 +1,21 @@
+# Runs motiflint on the seeded-violation demo file and checks that every
+# violation class is flagged (with a clause span) and the exit status is 1.
+execute_process(COMMAND ${LINT} ${BAD}
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "motiflint should exit 1 on seeded violations, "
+                      "got ${rc}\n${out}\n${err}")
+endif()
+foreach(code ML001 ML002 ML003 ML010 ML011 ML020 ML031 ML040)
+  string(FIND "${out}" "${code}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "expected ${code} in motiflint output:\n${out}")
+  endif()
+endforeach()
+# Clause-level spans: the ML001 line must carry file:line:col.
+string(FIND "${out}" "lint_demo_bad.str:4:1: error: ML001" spos)
+if(spos EQUAL -1)
+  message(FATAL_ERROR "expected a file:line:col span on ML001:\n${out}")
+endif()

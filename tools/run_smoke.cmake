@@ -17,6 +17,10 @@ string(FIND "${out}" "DEADLOCK" dpos)
 if(NOT dpos EQUAL -1)
   message(FATAL_ERROR "pipeline deadlocked:\n${out}")
 endif()
+string(FIND "${out}" "lint: clean" lpos)
+if(lpos EQUAL -1)
+  message(FATAL_ERROR "transformed pipeline should lint clean:\n${out}")
+endif()
 string(FIND "${out}" "reduce/3" rpos)
 if(rpos EQUAL -1)
   message(FATAL_ERROR "profile should show reduce/3 commits:\n${out}")
