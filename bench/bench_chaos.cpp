@@ -1,0 +1,119 @@
+// Robustness economics: what does supervision cost when nothing goes
+// wrong, and what does recovery cost when a node dies?
+//
+// Cases:
+//  * SupervisionOverheadNoFault — the same Tree-Reduce-1 workload run
+//    unsupervised (blocking wait_idle) and supervised (wait_idle_for +
+//    outcome classification + plan bookkeeping) on a fault-free machine.
+//    The JSONL line reports overhead_pct; the supervision layer is
+//    designed to stay within a few percent (acceptance bound: <= 5%).
+//  * SupervisedRetryUnderKill — one injected node loss per run: the
+//    supervisor's detect-abandon-revive-retry path, reported as attempts
+//    and recovery wall time.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "bench_report.hpp"
+
+#include "motifs/supervise.hpp"
+#include "motifs/tree_reduce.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/machine.hpp"
+
+namespace m = motif;
+namespace rt = motif::rt;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+using IntTree = m::Tree<int, int>;
+
+IntTree::Ptr balanced(int depth, int& next) {
+  if (depth == 0) return IntTree::leaf(next++);
+  auto l = balanced(depth - 1, next);
+  auto r = balanced(depth - 1, next);
+  return IntTree::node(0, std::move(l), std::move(r));
+}
+
+struct SumEval {
+  int operator()(const int&, const int& a, const int& b) const {
+    return a + b;
+  }
+};
+
+double ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+void BM_SupervisionOverheadNoFault(benchmark::State& state) {
+  const auto depth = static_cast<int>(state.range(0));
+  rt::Machine mach({.nodes = 8, .workers = 4, .seed = 17});
+  int next = 1;
+  const auto tree = balanced(depth, next);
+  const int leaves = 1 << depth;
+  const int want = leaves * (leaves + 1) / 2;
+  m::SuperviseOptions opts;
+  opts.deadline = std::chrono::seconds(30);
+  double unsup_ns = 0, sup_ns = 0;
+  std::uint64_t reps = 0;
+  for (auto _ : state) {
+    const auto t0 = Clock::now();
+    const int plain =
+        m::tree_reduce1<int, int>(mach, tree, SumEval{}, m::MapPolicy::Random);
+    const auto t1 = Clock::now();
+    const auto sup =
+        m::supervised_tree_reduce1<int, int>(mach, tree, SumEval{}, opts);
+    const auto t2 = Clock::now();
+    if (plain != want || !sup.ok() || *sup.value != want) {
+      state.SkipWithError("wrong reduction result");
+      return;
+    }
+    unsup_ns += ns_between(t0, t1);
+    sup_ns += ns_between(t1, t2);
+    ++reps;
+  }
+  if (reps == 0) return;
+  state.counters["unsupervised_ns"] = unsup_ns / static_cast<double>(reps);
+  state.counters["supervised_ns"] = sup_ns / static_cast<double>(reps);
+  state.counters["overhead_pct"] = (sup_ns - unsup_ns) / unsup_ns * 100.0;
+  state.counters["leaves"] = leaves;
+  MOTIF_BENCH_REPORT(state);
+}
+BENCHMARK(BM_SupervisionOverheadNoFault)->Arg(8)->Arg(10);
+
+void BM_SupervisedRetryUnderKill(benchmark::State& state) {
+  const auto depth = static_cast<int>(state.range(0));
+  int next = 1;
+  const auto tree = balanced(depth, next);
+  const int leaves = 1 << depth;
+  const int want = leaves * (leaves + 1) / 2;
+  m::SuperviseOptions opts;
+  opts.deadline = std::chrono::seconds(30);
+  std::uint64_t attempts = 0, recovered = 0, runs = 0;
+  for (auto _ : state) {
+    // Fresh machine per run: the exact-count kill fires exactly once.
+    rt::FaultPlan plan;
+    plan.kills.push_back({2, 2});
+    rt::Machine mach({.nodes = 8, .workers = 4, .seed = 17, .faults = plan});
+    const auto res =
+        m::supervised_tree_reduce1<int, int>(mach, tree, SumEval{}, opts);
+    if (res.ok() && *res.value == want) ++recovered;
+    attempts += res.attempts;
+    ++runs;
+  }
+  if (runs == 0) return;
+  state.counters["attempts_per_run"] =
+      static_cast<double>(attempts) / static_cast<double>(runs);
+  state.counters["recovered_pct"] =
+      100.0 * static_cast<double>(recovered) / static_cast<double>(runs);
+  state.counters["leaves"] = leaves;
+  MOTIF_BENCH_REPORT(state);
+}
+BENCHMARK(BM_SupervisedRetryUnderKill)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

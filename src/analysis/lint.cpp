@@ -33,6 +33,7 @@ const char* code_id(Code c) {
     case Code::BadPlacement: return "ML040";
     case Code::UnknownGuard: return "ML050";
     case Code::NonProcessGoal: return "ML051";
+    case Code::UnsupervisedRemotePost: return "ML060";
   }
   return "ML???";
 }
@@ -52,6 +53,7 @@ const char* code_slug(Code c) {
     case Code::BadPlacement: return "bad-placement";
     case Code::UnknownGuard: return "unknown-guard";
     case Code::NonProcessGoal: return "non-process-goal";
+    case Code::UnsupervisedRemotePost: return "unsupervised-remote-post";
   }
   return "unknown";
 }
@@ -188,7 +190,7 @@ bool guard_is_trivial(const std::vector<Term>& guard) {
 class Scanner {
  public:
   Scanner(const Program& program, const Options& opts, const ModeTable* modes)
-      : modes_(modes) {
+      : modes_(modes), supervision_(opts.supervision) {
     for (const auto& k : program.defined()) {
       defined_.insert(k);
       names_.insert(k.name);
@@ -332,7 +334,15 @@ class Scanner {
 
   void scan_body_goal(ClauseScan& cs, const Term& goal) {
     auto view = term::strip_placement(goal);
-    if (view.annotated) scan_placement(cs, view.placement);
+    if (view.annotated) {
+      scan_placement(cs, view.placement);
+      if (supervision_ && !in_supervised_) {
+        diag(Code::UnsupervisedRemotePost, Severity::Warning,
+             "goal " + term::format_term(view.goal) +
+                 " is posted to another node with no supervision/timeout "
+                 "wrapper (wrap it in supervised/1 or timeout/2)");
+      }
+    }
     Term g = view.goal.deref();
     if (g.is_var()) {
       record(cs, g, Occ::Consume);  // metacall: runs whatever it is bound to
@@ -352,6 +362,19 @@ class Scanner {
     }
     const std::string& f = g.functor();
     const std::size_t n = g.arity();
+    // Supervision wrappers (only meaningful with the ML060 check on):
+    // supervised(G) and timeout(G, Budget) scan G as a body goal — which
+    // legalises a placement annotation inside — and mark any remote post
+    // under them as covered.
+    if (supervision_ &&
+        ((f == "supervised" && n == 1) || (f == "timeout" && n == 2))) {
+      if (n == 2) record_all(cs, g.arg(1), Occ::Consume);
+      const bool saved = in_supervised_;
+      in_supervised_ = true;
+      scan_body_goal(cs, g.arg(0));
+      in_supervised_ = saved;
+      return;
+    }
     if (g.is_compound()) {
       for (const auto& a : g.args()) check_no_placement_inside(a, "a goal");
     }
@@ -438,6 +461,8 @@ class Scanner {
   }
 
   const ModeTable* modes_;
+  bool supervision_ = false;
+  bool in_supervised_ = false;  // scanning under a supervision wrapper
   std::set<ProcKey> defined_;
   std::set<ProcKey> assumed_;
   std::set<std::string> names_;  // defined or builtin, any arity

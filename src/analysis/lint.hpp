@@ -55,6 +55,7 @@ enum class Code {
   BadPlacement,        // ML040: @ outside body position / bad node expr
   UnknownGuard,        // ML050: guard is not a recognised test
   NonProcessGoal,      // ML051: body goal is not callable (list, number..)
+  UnsupervisedRemotePost,  // ML060: remote post with no supervision wrapper
 };
 
 const char* code_id(Code c);     // "ML001"
@@ -81,6 +82,14 @@ struct Options {
   std::vector<term::ProcKey> assume_defined;
   /// Emit ML031 singleton warnings.
   bool singletons = true;
+  /// Emit ML060: a body goal posted with a placement annotation (`G@N`,
+  /// `G@random`, ...) and no supervision/timeout wrapper around it. A
+  /// remote post can be dropped or its node lost (runtime/fault.hpp), so
+  /// library rules should run such goals under `supervised(G)` or
+  /// `timeout(G, Budget)` — both scanned transparently when this check is
+  /// on. Off by default: only code adopting the supervision discipline of
+  /// DESIGN.md §9 should opt in.
+  bool supervision = false;
 };
 
 struct Report {

@@ -761,6 +761,7 @@ Interp::Interp(term::Program program, InterpOptions options)
       .workers = options.workers,
       .batch = 64,
       .seed = options.seed,
+      .faults = options.faults,
   });
   impl_->self = this;
   impl_->machine = machine_.get();

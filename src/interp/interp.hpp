@@ -55,6 +55,10 @@ struct InterpOptions {
   /// Max tail-call iterations inside one Machine task before re-posting
   /// (keeps virtual nodes fair without extra task overhead per reduction).
   std::uint32_t tail_budget = 64;
+  /// Deterministic fault schedule forwarded to the Machine (default:
+  /// none). Dropped posts lose processes; the run still quiesces and the
+  /// deadlock reporter classifies what went unbound (motifsh :faults).
+  rt::FaultPlan faults{};
 };
 
 struct RunResult {

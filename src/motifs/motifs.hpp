@@ -32,6 +32,7 @@
 #include "motifs/scan.hpp"
 #include "motifs/server.hpp"
 #include "motifs/sort.hpp"
+#include "motifs/supervise.hpp"
 #include "motifs/tree.hpp"
 #include "motifs/tree_reduce.hpp"
 #include "motifs/wavefront.hpp"

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -59,7 +61,10 @@ class Pipeline {
   }
 
   /// Runs to completion (source exhausted, all items through the sink).
-  /// Returns the number of items processed.
+  /// Returns the number of items processed. A throwing source, stage or
+  /// sink does NOT terminate the process: the failing thread closes its
+  /// channels so the rest of the chain unwinds, and run() rethrows the
+  /// first exception after every stage thread has joined.
   std::size_t run() {
     if (!source_ || !sink_) {
       throw std::logic_error("pipeline needs a source and a sink");
@@ -71,6 +76,12 @@ class Pipeline {
       chans.push_back(std::make_unique<rt::Channel<T>>(capacity_));
     }
     std::size_t count = 0;
+    std::mutex err_m;
+    std::exception_ptr first_err;
+    auto capture = [&err_m, &first_err] {
+      std::lock_guard lock(err_m);
+      if (!first_err) first_err = std::current_exception();
+    };
     // Each stage thread is the single writer of its own trace track.
     std::vector<std::uint32_t> tracks;
     if (tracer_ != nullptr) {
@@ -82,44 +93,59 @@ class Pipeline {
       tracks.push_back(tracer_->add_track("pipe.sink"));
     }
     std::vector<std::thread> threads;
-    threads.emplace_back([this, &chans, &tracks] {
+    threads.emplace_back([this, &chans, &tracks, &capture] {
       rt::ThreadTrackGuard guard(tracer_, tracer_ ? tracks.front() : 0);
-      for (;;) {
-        std::optional<T> item;
-        {
-          TRACE_SPAN("pipe.produce");
-          item = source_();
+      try {
+        for (;;) {
+          std::optional<T> item;
+          {
+            TRACE_SPAN("pipe.produce");
+            item = source_();
+          }
+          if (!item || !chans.front()->push(std::move(*item))) break;
         }
-        if (!item || !chans.front()->push(std::move(*item))) break;
+      } catch (...) {
+        capture();
       }
       chans.front()->close();
     });
     for (std::size_t s = 0; s < stages_.size(); ++s) {
-      threads.emplace_back([this, s, &chans, &tracks] {
+      threads.emplace_back([this, s, &chans, &tracks, &capture] {
         rt::ThreadTrackGuard guard(tracer_, tracer_ ? tracks[s + 1] : 0);
         auto& in = *chans[s];
         auto& out = *chans[s + 1];
-        while (auto item = in.pop()) {
-          std::optional<T> produced;
-          {
-            TRACE_SPAN("pipe.stage");
-            produced.emplace(stages_[s](std::move(*item)));
+        try {
+          while (auto item = in.pop()) {
+            std::optional<T> produced;
+            {
+              TRACE_SPAN("pipe.stage");
+              produced.emplace(stages_[s](std::move(*item)));
+            }
+            if (!out.push(std::move(*produced))) break;
           }
-          if (!out.push(std::move(*produced))) break;
+        } catch (...) {
+          capture();
+          in.close();  // unblock and stop the upstream producer
         }
         out.close();
       });
     }
-    threads.emplace_back([this, &chans, &count, &tracks] {
+    threads.emplace_back([this, &chans, &count, &tracks, &capture] {
       rt::ThreadTrackGuard guard(tracer_, tracer_ ? tracks.back() : 0);
       auto& in = *chans.back();
-      while (auto item = in.pop()) {
-        TRACE_SPAN("pipe.consume");
-        sink_(std::move(*item));
-        ++count;
+      try {
+        while (auto item = in.pop()) {
+          TRACE_SPAN("pipe.consume");
+          sink_(std::move(*item));
+          ++count;
+        }
+      } catch (...) {
+        capture();
+        in.close();
       }
     });
     for (auto& t : threads) t.join();
+    if (first_err) std::rethrow_exception(first_err);
     return count;
   }
 

@@ -20,13 +20,16 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "runtime/fault.hpp"
 #include "runtime/machine.hpp"
 #include "runtime/svar.hpp"
 #include "runtime/trace.hpp"
@@ -96,6 +99,26 @@ class Scheduler {
       throw std::logic_error("scheduler stalled without completing");
     }
     return st->manager_msgs.load(std::memory_order_relaxed);
+  }
+
+  /// Deadline-bounded run for chaos conditions: never hangs and never
+  /// throws on stall — returns the classified RunOutcome (a quiesced run
+  /// whose completion variable went unbound is refined to Stalled, or
+  /// NodeLost when servers died) plus the manager-message count so far.
+  std::pair<rt::RunOutcome, std::uint64_t> run_for(
+      std::chrono::nanoseconds deadline) {
+    if (tasks_.empty()) return {rt::RunOutcome{}, 0};
+    auto st = std::make_shared<Run>(m_, opts_, std::move(tasks_));
+    tasks_.clear();
+    st->done.set_name("scheduler.done");
+    st->start();
+    rt::RunOutcome o = m_.wait_idle_for(deadline);
+    if (o.status == rt::RunStatus::Completed && !st->done.bound()) {
+      o.status = o.lost_nodes.empty() ? rt::RunStatus::Stalled
+                                      : rt::RunStatus::NodeLost;
+      o.blocked_on = "scheduler.done";
+    }
+    return {std::move(o), st->manager_msgs.load(std::memory_order_relaxed)};
   }
 
  private:

@@ -12,11 +12,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <utility>
 
+#include "runtime/fault.hpp"
 #include "runtime/machine.hpp"
 
 namespace motif {
@@ -74,6 +78,30 @@ class ServerNetwork {
     return state_->halted.load(std::memory_order_acquire);
   }
 
+  /// Deadline-bounded wait: returns the machine's classified RunOutcome
+  /// instead of hanging on a crashed server (see runtime/fault.hpp).
+  rt::RunOutcome wait_for(std::chrono::nanoseconds deadline) {
+    return state_->m.wait_idle_for(deadline);
+  }
+
+  /// Opt-in crash recovery: from now on every send is journalled and
+  /// checked off when its handler runs. Requires Msg to be copyable.
+  /// Call before start().
+  void enable_journal() {
+    state_->journal.store(true, std::memory_order_release);
+  }
+
+  /// Revives crashed servers and re-delivers every journalled message
+  /// whose handler never ran — the mailbox a dead node discarded, or a
+  /// fault-dropped post. Call while the machine is quiescent (after
+  /// wait()/wait_for()); returns the number of messages replayed. A
+  /// message may be handled more than once only if the fault plan
+  /// duplicates it — replay itself re-sends each lost message once.
+  std::size_t recover_lost() {
+    for (rt::NodeId n : state_->m.lost_nodes()) state_->m.revive(n);
+    return state_->replay_undelivered();
+  }
+
   std::uint64_t messages_handled() const {
     return state_->handled.load(std::memory_order_relaxed);
   }
@@ -86,6 +114,18 @@ class ServerNetwork {
     std::atomic<bool> halted{false};
     std::atomic<std::uint64_t> handled{0};
 
+    /// Journal of sends (enable_journal): an entry is checked off when
+    /// its handler starts, so whatever is left unchecked at quiescence is
+    /// exactly the undelivered mail recover_lost() replays.
+    struct JournalEntry {
+      std::uint32_t to;
+      Msg msg;
+      bool done = false;
+    };
+    std::atomic<bool> journal{false};
+    std::mutex journal_m;
+    std::deque<JournalEntry> entries;
+
     State(rt::Machine& mm, std::uint32_t n, Handler h)
         : m(mm), count(n), handler(std::move(h)) {}
 
@@ -93,15 +133,49 @@ class ServerNetwork {
       if (to < 1 || to > count) {
         throw std::out_of_range("server id outside 1..nodes");
       }
+      std::int64_t idx = -1;
+      if (journal.load(std::memory_order_acquire)) {
+        std::lock_guard lock(journal_m);
+        idx = static_cast<std::int64_t>(entries.size());
+        entries.push_back(JournalEntry{to, msg, false});
+      }
+      deliver(to, std::move(msg), idx);
+    }
+
+    void deliver(std::uint32_t to, Msg msg, std::int64_t idx) {
       auto self = this->shared_from_this();
       m.post(static_cast<rt::NodeId>(to - 1),
-             [self, msg = std::move(msg)]() mutable {
+             [self, msg = std::move(msg), idx]() mutable {
                if (self->halted.load(std::memory_order_acquire)) return;
+               if (idx >= 0) {
+                 std::lock_guard lock(self->journal_m);
+                 self->entries[static_cast<std::size_t>(idx)].done = true;
+               }
                self->handled.fetch_add(1, std::memory_order_relaxed);
                TRACE_SPAN("server.handle");
                Context ctx(self);
                self->handler(ctx, std::move(msg));
              });
+    }
+
+    std::size_t replay_undelivered() {
+      struct Redo {
+        std::uint32_t to;
+        Msg msg;
+        std::int64_t idx;
+      };
+      std::vector<Redo> redo;
+      {
+        std::lock_guard lock(journal_m);
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+          if (!entries[i].done) {
+            redo.push_back(Redo{entries[i].to, entries[i].msg,
+                                static_cast<std::int64_t>(i)});
+          }
+        }
+      }
+      for (auto& r : redo) deliver(r.to, std::move(r.msg), r.idx);
+      return redo.size();
     }
   };
 

@@ -54,7 +54,7 @@ enum class LabelPolicy { Paper, IndependentRandom };
 namespace detail {
 
 template <class V, class Tag, class Eval>
-struct TR1 {
+struct TR1 : std::enable_shared_from_this<TR1<V, Tag, Eval>> {
   rt::Machine& m;
   Eval eval;
   MapPolicy policy;
@@ -77,8 +77,10 @@ struct TR1 {
     }
     rt::SVar<V> lv, rv;
     // Ship the right subtree to another processor (the paper's
-    // "reduce(R,RV)@random"); keep the left at home.
-    auto self = this;
+    // "reduce(R,RV)@random"); keep the left at home. Continuations hold
+    // the engine via shared_ptr: with the *_async entry point there is
+    // no caller frame pinning it until quiescence.
+    auto self = this->shared_from_this();
     m.post(pick(), [self, r = t->right(), rv] { self->reduce(r, rv); });
     const rt::NodeId home = rt::Machine::current_node() == rt::kNoNode
                                 ? 0
@@ -104,15 +106,29 @@ struct TR1 {
 
 }  // namespace detail
 
+/// Tree-Reduce-1, non-blocking: launches the reduction and returns the
+/// result variable (named "tree_reduce1.result" for stall diagnostics)
+/// without waiting. This is the form supervision wraps — the supervisor,
+/// not the motif, owns the deadline (motifs/supervise.hpp).
+template <class V, class Tag, class Eval>
+rt::SVar<V> tree_reduce1_async(rt::Machine& m,
+                               const typename Tree<V, Tag>::Ptr& tree,
+                               Eval eval,
+                               MapPolicy policy = MapPolicy::Random) {
+  auto engine = std::make_shared<detail::TR1<V, Tag, Eval>>(
+      m, std::move(eval), policy);
+  rt::SVar<V> out;
+  out.set_name("tree_reduce1.result");
+  m.post(m.random_node(), [engine, tree, out] { engine->reduce(tree, out); });
+  return out;
+}
+
 /// Tree-Reduce-1. Blocks the calling (external) thread until the value is
 /// available. Eval: V(const Tag&, const V&, const V&).
 template <class V, class Tag, class Eval>
 V tree_reduce1(rt::Machine& m, const typename Tree<V, Tag>::Ptr& tree,
                Eval eval, MapPolicy policy = MapPolicy::Random) {
-  auto engine = std::make_shared<detail::TR1<V, Tag, Eval>>(
-      m, std::move(eval), policy);
-  rt::SVar<V> out;
-  m.post(m.random_node(), [engine, tree, out] { engine->reduce(tree, out); });
+  auto out = tree_reduce1_async<V, Tag>(m, tree, std::move(eval), policy);
   // Quiesce first: wait_idle rethrows any exception a task (e.g. the
   // user's eval) threw; only then is the result guaranteed bound.
   m.wait_idle();
@@ -202,71 +218,81 @@ struct TR2Stats {
   std::uint64_t remote_values = 0;
 };
 
-/// Tree-Reduce-2. Blocks the calling thread until the value is available.
-/// The per-processor pending tables live in node-indexed state touched
-/// only by that node's (sequential) tasks — no locks needed.
-template <class V, class Tag, class Eval>
-V tree_reduce2(rt::Machine& m, const typename Tree<V, Tag>::Ptr& tree,
-               Eval eval, TR2Stats* stats = nullptr,
-               LabelPolicy policy = LabelPolicy::Paper) {
-  if (tree->is_leaf()) return tree->value();
-  using Plan = detail::TR2Plan<V, Tag>;
-  auto plan = std::make_shared<Plan>(
-      detail::tr2_label<V, Tag>(tree, m.node_count(), m.rng(0), policy));
+namespace detail {
 
+/// The running state of one tree_reduce2 invocation: per-processor
+/// pending tables touched only by that node's (sequential) tasks — no
+/// locks needed.
+template <class V, class Tag, class Eval>
+struct TR2State : std::enable_shared_from_this<TR2State<V, Tag, Eval>> {
+  using Plan = TR2Plan<V, Tag>;
   struct Partial {
     bool have_left = false, have_right = false;
     V left{}, right{};
   };
-  struct State {
-    rt::Machine& m;
-    std::shared_ptr<Plan> plan;
-    Eval eval;
-    std::vector<std::unordered_map<std::int64_t, Partial>> pending;
-    rt::SVar<V> result;
-    std::atomic<std::uint64_t> local{0}, remote{0};
-    State(rt::Machine& mm, std::shared_ptr<Plan> p, Eval e)
-        : m(mm), plan(std::move(p)), eval(std::move(e)),
-          pending(mm.node_count()) {}
 
-    void deliver(std::int64_t node_id, rt::NodeId to, bool is_right, V v) {
-      const rt::NodeId from = rt::Machine::current_node();
-      if (from != rt::kNoNode) {
-        (from == to ? local : remote).fetch_add(1, std::memory_order_relaxed);
-      }
-      m.post(to, [this, node_id, is_right, v = std::move(v)]() mutable {
-        arrive(node_id, is_right, std::move(v));
-      });
+  rt::Machine& m;
+  std::shared_ptr<Plan> plan;
+  Eval eval;
+  std::vector<std::unordered_map<std::int64_t, Partial>> pending;
+  rt::SVar<V> result;
+  std::atomic<std::uint64_t> local{0}, remote{0};
+  TR2State(rt::Machine& mm, std::shared_ptr<Plan> p, Eval e)
+      : m(mm), plan(std::move(p)), eval(std::move(e)),
+        pending(mm.node_count()) {}
+
+  void deliver(std::int64_t node_id, rt::NodeId to, bool is_right, V v) {
+    const rt::NodeId from = rt::Machine::current_node();
+    if (from != rt::kNoNode) {
+      (from == to ? local : remote).fetch_add(1, std::memory_order_relaxed);
     }
+    // shared_ptr capture: the async entry point returns before the run
+    // finishes, so in-flight messages are what keep the state alive.
+    auto self = this->shared_from_this();
+    m.post(to, [self, node_id, is_right, v = std::move(v)]() mutable {
+      self->arrive(node_id, is_right, std::move(v));
+    });
+  }
 
-    void arrive(std::int64_t node_id, bool is_right, V v) {
-      const rt::NodeId here = rt::Machine::current_node();
-      Partial& p = pending[here][node_id];
-      (is_right ? p.right : p.left) = std::move(v);
-      (is_right ? p.have_right : p.have_left) = true;
-      if (!(p.have_left && p.have_right)) return;
-      Partial ready = std::move(p);
-      pending[here].erase(node_id);
-      const auto& e = plan->entries[static_cast<std::size_t>(node_id)];
-      V value;
-      {
-        rt::EvalScope scope;  // exactly one evaluation active per node
-        TRACE_SPAN("tree_reduce2.combine");
-        value = eval(e.tag, ready.left, ready.right);
-      }
-      if (e.parent < 0) {
-        result.bind(std::move(value));
-        return;
-      }
-      deliver(e.parent, e.parent_label, e.is_right, std::move(value));
+  void arrive(std::int64_t node_id, bool is_right, V v) {
+    const rt::NodeId here = rt::Machine::current_node();
+    Partial& p = pending[here][node_id];
+    (is_right ? p.right : p.left) = std::move(v);
+    (is_right ? p.have_right : p.have_left) = true;
+    if (!(p.have_left && p.have_right)) return;
+    Partial ready = std::move(p);
+    pending[here].erase(node_id);
+    const auto& e = plan->entries[static_cast<std::size_t>(node_id)];
+    V value;
+    {
+      rt::EvalScope scope;  // exactly one evaluation active per node
+      TRACE_SPAN("tree_reduce2.combine");
+      value = eval(e.tag, ready.left, ready.right);
     }
-  };
+    if (e.parent < 0) {
+      result.bind(std::move(value));
+      return;
+    }
+    deliver(e.parent, e.parent_label, e.is_right, std::move(value));
+  }
+};
 
-  auto st = std::make_shared<State>(m, plan, std::move(eval));
+/// Labels the tree and launches the leaf distribution; returns the state
+/// (whose `result` variable, named "tree_reduce2.result", binds when the
+/// root value is computed). Non-blocking.
+template <class V, class Tag, class Eval>
+std::shared_ptr<TR2State<V, Tag, Eval>> tr2_start(
+    rt::Machine& m, const typename Tree<V, Tag>::Ptr& tree, Eval eval,
+    LabelPolicy policy) {
+  auto plan = std::make_shared<TR2Plan<V, Tag>>(
+      tr2_label<V, Tag>(tree, m.node_count(), m.rng(0), policy));
+  auto st = std::make_shared<TR2State<V, Tag, Eval>>(m, std::move(plan),
+                                                     std::move(eval));
+  st->result.set_name("tree_reduce2.result");
   // Initial distribution: each leaf value travels from the leaf's own
   // processor (its label) to its parent's processor. Left leaves and
   // sibling-rule right leaves are local by construction.
-  for (const auto& leaf : plan->leaves) {
+  for (const auto& leaf : st->plan->leaves) {
     (leaf.label == leaf.parent_label ? st->local : st->remote)
         .fetch_add(1, std::memory_order_relaxed);
     // Copy: messages move data by value between processors (CP.31).
@@ -275,6 +301,34 @@ V tree_reduce2(rt::Machine& m, const typename Tree<V, Tag>::Ptr& tree,
              st->arrive(id, right, v);
            });
   }
+  return st;
+}
+
+}  // namespace detail
+
+/// Tree-Reduce-2, non-blocking: launches the reduction and returns the
+/// result variable (named "tree_reduce2.result"). The supervised form in
+/// motifs/supervise.hpp wraps this.
+template <class V, class Tag, class Eval>
+rt::SVar<V> tree_reduce2_async(rt::Machine& m,
+                               const typename Tree<V, Tag>::Ptr& tree,
+                               Eval eval,
+                               LabelPolicy policy = LabelPolicy::Paper) {
+  if (tree->is_leaf()) {
+    rt::SVar<V> out;
+    out.bind(tree->value());
+    return out;
+  }
+  return detail::tr2_start<V, Tag>(m, tree, std::move(eval), policy)->result;
+}
+
+/// Tree-Reduce-2. Blocks the calling thread until the value is available.
+template <class V, class Tag, class Eval>
+V tree_reduce2(rt::Machine& m, const typename Tree<V, Tag>::Ptr& tree,
+               Eval eval, TR2Stats* stats = nullptr,
+               LabelPolicy policy = LabelPolicy::Paper) {
+  if (tree->is_leaf()) return tree->value();
+  auto st = detail::tr2_start<V, Tag>(m, tree, std::move(eval), policy);
   m.wait_idle();  // rethrows task exceptions; result is bound after this
   const V& v = st->result.get();
   if (stats != nullptr) {

@@ -19,14 +19,19 @@
 
 namespace motif {
 
-/// Runs body(i, j) for every (i, j) in [0, rows) x [0, cols), respecting
-/// wavefront dependencies: body(i,j) runs after body(i-1,j) and
-/// body(i,j-1). Within a tile, cells run in row-major order. Blocks the
-/// calling thread; body exceptions propagate.
+/// Non-blocking wavefront: launches the tile graph and returns a
+/// completion variable (named "wavefront.done") that binds once every
+/// tile has run. The supervised form in motifs/supervise.hpp wraps this;
+/// body exceptions surface through wait_idle / wait_idle_for.
 template <class Body>
-void wavefront(rt::Machine& m, std::size_t rows, std::size_t cols,
-               Body body, std::size_t tile = 64) {
-  if (rows == 0 || cols == 0) return;
+rt::SVar<bool> wavefront_async(rt::Machine& m, std::size_t rows,
+                               std::size_t cols, Body body,
+                               std::size_t tile = 64) {
+  if (rows == 0 || cols == 0) {
+    rt::SVar<bool> done;
+    done.bind(true);
+    return done;
+  }
   if (tile == 0) tile = 1;
   const std::size_t tr = (rows + tile - 1) / tile;
   const std::size_t tc = (cols + tile - 1) / tile;
@@ -84,9 +89,21 @@ void wavefront(rt::Machine& m, std::size_t rows, std::size_t cols,
 
   auto st = std::make_shared<State>(m, rows, cols, tile, tr, tc,
                                     std::move(body));
+  st->done.set_name("wavefront.done");
   m.post(0, [st] { st->run_tile(st, 0, 0); });
+  return st->done;
+}
+
+/// Runs body(i, j) for every (i, j) in [0, rows) x [0, cols), respecting
+/// wavefront dependencies: body(i,j) runs after body(i-1,j) and
+/// body(i,j-1). Within a tile, cells run in row-major order. Blocks the
+/// calling thread; body exceptions propagate.
+template <class Body>
+void wavefront(rt::Machine& m, std::size_t rows, std::size_t cols,
+               Body body, std::size_t tile = 64) {
+  auto done = wavefront_async(m, rows, cols, std::move(body), tile);
   m.wait_idle();  // rethrows body exceptions; all tiles done after this
-  st->done.get();
+  done.get();
 }
 
 }  // namespace motif

@@ -1,6 +1,8 @@
 #include "runtime/machine.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 namespace motif::rt {
 
@@ -21,6 +23,8 @@ Machine::Machine(MachineConfig cfg)
   for (std::uint32_t i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<Node>(splitmix64(s)));
   }
+  faults_ = cfg.faults;
+  faults_enabled_.store(faults_.enabled(), std::memory_order_release);
 #if MOTIF_TRACING
   tracer_ = std::make_unique<Tracer>(
       TracerOptions{std::max<std::size_t>(2, cfg.trace_capacity)});
@@ -39,20 +43,47 @@ Machine::Machine(MachineConfig cfg)
   }
 }
 
-Machine::~Machine() {
+Machine::~Machine() { shutdown(); }
+
+void Machine::shutdown() {
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
   // Drain outstanding work first so no posted task is silently dropped.
-  try {
-    wait_idle();
-  } catch (...) {
-    // A failing task's exception was already delivered to a prior
-    // wait_idle or is being abandoned with the machine itself.
+  {
+    std::unique_lock lock(idle_m_);
+    idle_cv_.wait(lock, [&] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
   }
+  // A task error no wait_idle ever collected must not vanish: count it
+  // and say so, since nobody is left to rethrow it to.
+  std::exception_ptr e;
+  {
+    std::lock_guard el(error_m_);
+    e = first_error_;
+    first_error_ = nullptr;
+  }
+  if (e) {
+    dropped_task_errors().fetch_add(1, std::memory_order_relaxed);
+    std::string what = "unknown exception";
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+      what = ex.what();
+    } catch (...) {
+    }
+    std::fprintf(stderr,
+                 "[motif] task error dropped at Machine shutdown: %s\n",
+                 what.c_str());
+  }
+  accepting_.store(false, std::memory_order_release);
   {
     std::lock_guard lock(ready_m_);
     stopping_ = true;
   }
   ready_cv_.notify_all();
   for (auto& t : workers_) t.join();
+  workers_.clear();
 }
 
 NodeId Machine::current_node() { return tl_current_node; }
@@ -86,8 +117,42 @@ TraceLog Machine::drain_trace() {
 }
 
 void Machine::post(NodeId n, Task t) {
+  if (!accepting_.load(std::memory_order_acquire) ||
+      discarding_.load(std::memory_order_acquire)) {
+    // After shutdown() (or while abandon_pending drains) posting is safe
+    // but inert: the task is discarded and counted, never enqueued onto
+    // stopped workers.
+    discarded_posts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const NodeId from = tl_current_node;
+  if (nodes_[n]->dead.load(std::memory_order_acquire)) {
+    // A crashed processor loses its mail silently — the defining hazard
+    // the supervision layer exists to classify.
+    fault_counts_.dead_drops.fetch_add(1, std::memory_order_relaxed);
+    if (from != kNoNode) emit_fault(from, "dead-drop", 0, n);
+    return;
+  }
+  // The fault lottery applies to cross-node posts only; the ordinal is a
+  // per-sender count so the (seed, sender, ordinal) stream is replayable.
+  PostFault pf = PostFault::None;
+  std::uint64_t ordinal = 0;
+  if (from != kNoNode && from != n &&
+      faults_enabled_.load(std::memory_order_acquire)) {
+    ordinal = nodes_[from]->xposts.fetch_add(1, std::memory_order_relaxed) + 1;
+    pf = faults_.post_fault(from, ordinal);
+  }
+  if (pf == PostFault::Drop) {
+    fault_counts_.drops.fetch_add(1, std::memory_order_relaxed);
+    emit_fault(from, "drop", ordinal, n);
+    return;
+  }
   QueuedTask qt{std::move(t)};
+  if (pf == PostFault::Delay) {
+    qt.delay = 1;  // one bounce: re-queued behind later arrivals
+    fault_counts_.delays.fetch_add(1, std::memory_order_relaxed);
+    emit_fault(from, "delay", ordinal, n);
+  }
   if (from == kNoNode) {
     // external producer; not an inter-processor message
   } else if (from == n) {
@@ -109,10 +174,16 @@ void Machine::post(NodeId n, Task t) {
     }
 #endif
   }
-  pending_.fetch_add(1, std::memory_order_relaxed);
+  const bool dup = pf == PostFault::Duplicate;
+  if (dup) {
+    fault_counts_.duplicates.fetch_add(1, std::memory_order_relaxed);
+    emit_fault(from, "dup", ordinal, n);
+  }
+  pending_.fetch_add(dup ? 2 : 1, std::memory_order_relaxed);
   bool need_schedule = false;
   {
     std::lock_guard lock(nodes_[n]->m);
+    if (dup) nodes_[n]->q.push_back(qt);  // second delivery of the same msg
     nodes_[n]->q.push_back(std::move(qt));
     const auto depth = static_cast<std::uint64_t>(nodes_[n]->q.size());
     std::uint64_t peak = peak_queue_.load(std::memory_order_relaxed);
@@ -165,6 +236,12 @@ void Machine::worker_loop() {
 
 void Machine::run_node(NodeId n) {
   Node& node = *nodes_[n];
+  if (node.dead.load(std::memory_order_acquire)) {
+    // Mail that raced past the dead-check in post(): shed it here so
+    // pending_ still drains and the machine quiesces instead of hanging.
+    note_pending_sub(shed_queue(node, /*as_dead_drops=*/true));
+    return;
+  }
   tl_current_node = n;
 #if MOTIF_TRACING
   // Bind this thread to the node's trace track so EvalScope and
@@ -173,6 +250,7 @@ void Machine::run_node(NodeId n) {
   ThreadTrackGuard trace_guard(tracer_.get(), n);
 #endif
   std::uint32_t executed = 0;
+  bool died = false;
   for (;;) {
     QueuedTask t;
     {
@@ -189,8 +267,21 @@ void Machine::run_node(NodeId n) {
       t = std::move(node.q.front());
       node.q.pop_front();
     }
+    if (t.delay > 0) {
+      // Fault-injected delay: bounce the task to the back of the queue
+      // so anything that arrived since overtakes it. No counters — the
+      // task has not run.
+      --t.delay;
+      {
+        std::lock_guard lock(node.m);
+        node.q.push_back(std::move(t));
+      }
+      ++executed;
+      continue;
+    }
     ++executed;
-    node.counters.tasks.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t task_no =
+        node.counters.tasks.fetch_add(1, std::memory_order_relaxed) + 1;
 #if MOTIF_TRACING
     const bool traced = tracer_->active();
     std::uint64_t work_before = 0;
@@ -204,6 +295,15 @@ void Machine::run_node(NodeId n) {
     }
 #endif
     try {
+      if (faults_enabled_.load(std::memory_order_acquire) &&
+          throw_due(n, task_no)) {
+        fault_counts_.throws.fetch_add(1, std::memory_order_relaxed);
+        emit_fault(n, "throw", task_no, n);
+        // The task body never runs: the "process" died before producing
+        // its outputs.
+        throw InjectedFault("injected fault: node " + std::to_string(n) +
+                            " task " + std::to_string(task_no));
+      }
       t.fn();
     } catch (...) {
       std::lock_guard lock(error_m_);
@@ -217,10 +317,20 @@ void Machine::run_node(NodeId n) {
                     work_after - work_before);
     }
 #endif
+    if (faults_enabled_.load(std::memory_order_acquire) &&
+        kill_due(n, task_no)) {
+      node.dead.store(true, std::memory_order_release);
+      fault_counts_.kills.fetch_add(1, std::memory_order_relaxed);
+      emit_fault(n, "kill", task_no, n);
+      // The dead node's remaining mail is lost with it.
+      note_pending_sub(shed_queue(node, /*as_dead_drops=*/true));
+      died = true;
+    }
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lock(idle_m_);
       idle_cv_.notify_all();
     }
+    if (died) break;
   }
   tl_current_node = kNoNode;
   if (executed >= batch_) {
@@ -251,6 +361,152 @@ void Machine::wait_idle() {
     first_error_ = nullptr;
     std::rethrow_exception(e);
   }
+}
+
+RunOutcome Machine::wait_idle_for(std::chrono::nanoseconds deadline) {
+  bool idle;
+  {
+    std::unique_lock lock(idle_m_);
+    idle = idle_cv_.wait_for(lock, deadline, [&] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  RunOutcome out;
+  out.faults = fault_totals();
+  out.lost_nodes = lost_nodes();
+  if (!idle) {
+    out.status = out.lost_nodes.empty() ? RunStatus::DeadlineExceeded
+                                        : RunStatus::NodeLost;
+    for (const auto& name : unbound_svar_names()) {
+      if (!out.blocked_on.empty()) out.blocked_on += ", ";
+      out.blocked_on += name;
+    }
+    return out;
+  }
+  std::lock_guard el(error_m_);
+  if (first_error_) {
+    out.status = RunStatus::TaskFailed;
+    out.error = first_error_;
+    first_error_ = nullptr;
+    try {
+      std::rethrow_exception(out.error);
+    } catch (const std::exception& e) {
+      out.error_message = e.what();
+    } catch (...) {
+      out.error_message = "unknown exception";
+    }
+  } else {
+    out.status = RunStatus::Completed;
+  }
+  return out;
+}
+
+void Machine::abandon_pending() {
+  discarding_.store(true, std::memory_order_release);
+  std::uint64_t removed = 0;
+  for (auto& node : nodes_) {
+    removed += shed_queue(*node, /*as_dead_drops=*/false);
+  }
+  note_pending_sub(removed);
+  // In-flight tasks finish (their onward posts are discarded above);
+  // only then is the machine really quiet for the next attempt.
+  {
+    std::unique_lock lock(idle_m_);
+    idle_cv_.wait(lock, [&] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard el(error_m_);
+    first_error_ = nullptr;  // the abandoned attempt's error dies with it
+  }
+  discarding_.store(false, std::memory_order_release);
+}
+
+void Machine::set_fault_plan(FaultPlan plan, bool revive_dead) {
+  faults_enabled_.store(false, std::memory_order_release);
+  faults_ = std::move(plan);
+  if (revive_dead) {
+    for (auto& node : nodes_) {
+      node->dead.store(false, std::memory_order_release);
+    }
+  }
+  faults_enabled_.store(faults_.enabled(), std::memory_order_release);
+}
+
+void Machine::revive(NodeId n) {
+  nodes_[n]->dead.store(false, std::memory_order_release);
+}
+
+std::vector<NodeId> Machine::lost_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->dead.load(std::memory_order_acquire)) out.push_back(i);
+  }
+  return out;
+}
+
+FaultTotals Machine::fault_totals() const {
+  FaultTotals t;
+  t.drops = fault_counts_.drops.load(std::memory_order_relaxed);
+  t.dead_drops = fault_counts_.dead_drops.load(std::memory_order_relaxed);
+  t.duplicates = fault_counts_.duplicates.load(std::memory_order_relaxed);
+  t.delays = fault_counts_.delays.load(std::memory_order_relaxed);
+  t.kills = fault_counts_.kills.load(std::memory_order_relaxed);
+  t.throws = fault_counts_.throws.load(std::memory_order_relaxed);
+  return t;
+}
+
+std::uint64_t Machine::shed_queue(Node& node, bool as_dead_drops) {
+  std::uint64_t shed = 0;
+  {
+    std::lock_guard lock(node.m);
+    shed = static_cast<std::uint64_t>(node.q.size());
+    node.q.clear();
+    node.scheduled = false;
+  }
+  if (shed != 0) {
+    auto& counter =
+        as_dead_drops ? fault_counts_.dead_drops : discarded_posts_;
+    counter.fetch_add(shed, std::memory_order_relaxed);
+  }
+  return shed;
+}
+
+void Machine::note_pending_sub(std::uint64_t k) {
+  if (k == 0) return;
+  if (pending_.fetch_sub(k, std::memory_order_acq_rel) == k) {
+    std::lock_guard lock(idle_m_);
+    idle_cv_.notify_all();
+  }
+}
+
+void Machine::emit_fault(NodeId track, const char* kind,
+                         std::uint64_t ordinal, NodeId peer) {
+#if MOTIF_TRACING
+  if (track != kNoNode && tracer_->active()) {
+    tracer_->emit(track, TraceEventKind::Fault, kind, ordinal, peer, 0);
+  }
+#else
+  (void)track;
+  (void)kind;
+  (void)ordinal;
+  (void)peer;
+#endif
+}
+
+bool Machine::kill_due(NodeId n, std::uint64_t task_no) const {
+  for (const auto& k : faults_.kills) {
+    if (k.node == n && k.after_tasks == task_no) return true;
+  }
+  return false;
+}
+
+bool Machine::throw_due(NodeId n, std::uint64_t task_no) const {
+  for (const auto& t : faults_.throws) {
+    if (t.node == n && t.on_task == task_no) return true;
+  }
+  return false;
 }
 
 LoadSummary Machine::load_summary() const {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -28,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/fault.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/svar.hpp"
@@ -59,13 +61,15 @@ struct MachineConfig {
   std::uint64_t seed = 0x5EEDF00Dull;
   Topology topology = Topology::Complete;
   std::size_t trace_capacity = 8192;  ///< trace events retained per node
+  FaultPlan faults{};  ///< deterministic fault schedule; default: none
 };
 
 class Machine {
  public:
   explicit Machine(MachineConfig cfg = {});
 
-  /// Waits for quiescence, then stops and joins the workers.
+  /// Calls shutdown(): drains outstanding work (logging any uncollected
+  /// task error instead of swallowing it), then stops and joins workers.
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -98,14 +102,96 @@ class Machine {
   void post_when(SVar<T> v, NodeId n, F f) {
     v.when_bound([this, n, f = std::move(f)](const T& value) mutable {
       // Copy the value into the task: data moves between nodes by value
-      // (CP.31), as on a real multicomputer.
-      post(n, [f = std::move(f), value]() mutable { f(value); });
+      // (CP.31), as on a real multicomputer. The init-capture matters:
+      // a plain [value] capture of a `const T&` parameter produces a
+      // *const* member, which silently turns every later move of the
+      // closure (into the Task, into f) into another copy.
+      post(n, [f = std::move(f), value = value]() mutable { f(value); });
+    });
+  }
+
+  /// Move-path variant of post_when for heavy payloads (alignment
+  /// profiles, tiles): the value is still copied once into the posted
+  /// task — it crosses nodes by value, CP.31 — but is then *moved* into
+  /// `f`, so a by-value consumer sees one copy + one move instead of two
+  /// copies per continuation.
+  template <class T, class F>
+  void post_when_move(SVar<T> v, NodeId n, F f) {
+    v.when_bound([this, n, f = std::move(f)](const T& value) mutable {
+      post(n, [f = std::move(f), value = value]() mutable {
+        f(std::move(value));
+      });
     });
   }
 
   /// Blocks until no task is pending or running, then rethrows the first
   /// exception any task threw (if any).
+  ///
+  /// Concurrency: safe to call from any number of external threads at
+  /// once — every caller returns once the machine quiesces, and a stored
+  /// task error is delivered to exactly one of them (the others see a
+  /// clean return).
   void wait_idle();
+
+  /// Deadline-bounded wait_idle that *classifies* instead of hanging or
+  /// rethrowing blindly:
+  ///   - Completed:        quiesced with no task error. (A run that
+  ///     quiesced because a fault swallowed a message also lands here —
+  ///     the machine cannot know a result variable went unbound. Callers
+  ///     holding the result refine Completed + unbound to Stalled /
+  ///     NodeLost; motifs/supervise.hpp does exactly that.)
+  ///   - TaskFailed:       quiesced after a task threw. The error is
+  ///     captured in the outcome (and cleared here), not rethrown.
+  ///   - DeadlineExceeded: still busy when the deadline expired.
+  ///   - NodeLost:         deadline expired with at least one dead node.
+  /// The outcome also carries fault totals, dead nodes, and — like the
+  /// interpreter's deadlock reporter — the names of still-unbound named
+  /// SVars (SVar::set_name) in `blocked_on`.
+  RunOutcome wait_idle_for(std::chrono::nanoseconds deadline);
+
+  /// Best-effort cancellation used between supervised retry attempts:
+  /// discards every queued task and every post made while draining, then
+  /// waits for in-flight tasks to finish and clears any stored task
+  /// error. Already-executing tasks run to completion; their onward posts
+  /// are discarded (counted in discarded_posts()).
+  void abandon_pending();
+
+  /// Drains outstanding work, then stops and joins the workers.
+  /// Idempotent; the destructor calls it. If a task error was never
+  /// collected by wait_idle, it is NOT silently swallowed: it is counted
+  /// in rt::dropped_task_errors() and reported on stderr. After shutdown
+  /// the machine accepts no work — post() safely discards (counted in
+  /// discarded_posts()) instead of touching stopped workers.
+  void shutdown();
+
+  // --- fault injection (see runtime/fault.hpp) ---------------------------
+
+  /// Replaces the fault plan. Call while the machine is idle (between
+  /// runs / retry attempts): posts racing a plan swap see either plan.
+  /// When `revive_dead` (the default) all killed nodes come back empty —
+  /// kill specs match an exact cumulative task count, so a fired kill
+  /// does not re-fire on the revived node.
+  void set_fault_plan(FaultPlan plan, bool revive_dead = true);
+  const FaultPlan& fault_plan() const { return faults_; }
+
+  /// Brings a killed node back (empty queue, counters intact).
+  void revive(NodeId n);
+
+  bool node_alive(NodeId n) const {
+    return !nodes_[n]->dead.load(std::memory_order_acquire);
+  }
+
+  /// Nodes currently dead, ascending.
+  std::vector<NodeId> lost_nodes() const;
+
+  /// Injected-fault counts so far (monotonic snapshot).
+  FaultTotals fault_totals() const;
+
+  /// Posts discarded because the machine was shut down or draining in
+  /// abandon_pending (dead-node drops are counted as faults instead).
+  std::uint64_t discarded_posts() const {
+    return discarded_posts_.load(std::memory_order_relaxed);
+  }
 
   const NodeCounters& counters(NodeId n) const { return nodes_[n]->counters; }
   LoadSummary load_summary() const;
@@ -155,6 +241,7 @@ class Machine {
   /// identity that lets the tracer pair a remote send with its delivery.
   struct QueuedTask {
     Task fn;
+    std::uint32_t delay = 0;  // fault-injected bounces left before running
 #if MOTIF_TRACING
     std::uint64_t trace_msg = 0;  // nonzero: traced remote message id
     NodeId from = kNoNode;
@@ -168,12 +255,35 @@ class Machine {
     bool scheduled = false;  // present in the ready list or being drained
     Rng rng;
     NodeCounters counters;
+    /// Cross-node posts sent by this node, 1-based ordinal feeding the
+    /// fault lottery — counted only while a plan is enabled, so the
+    /// (seed, sender, ordinal) stream replays exactly.
+    std::atomic<std::uint64_t> xposts{0};
+    std::atomic<bool> dead{false};
     explicit Node(std::uint64_t seed) : rng(seed) {}
+  };
+
+  /// Monotonic injected-fault counters (snapshot via fault_totals()).
+  struct FaultCounters {
+    std::atomic<std::uint64_t> drops{0};
+    std::atomic<std::uint64_t> dead_drops{0};
+    std::atomic<std::uint64_t> duplicates{0};
+    std::atomic<std::uint64_t> delays{0};
+    std::atomic<std::uint64_t> kills{0};
+    std::atomic<std::uint64_t> throws{0};
   };
 
   void enqueue_ready(NodeId n);
   void worker_loop();
   void run_node(NodeId n);
+  /// Clears a node's queue (not crediting pending_ — callers do, via
+  /// note_pending_sub); returns the number of tasks shed.
+  std::uint64_t shed_queue(Node& node, bool as_dead_drops);
+  void note_pending_sub(std::uint64_t k);
+  void emit_fault(NodeId track, const char* kind, std::uint64_t ordinal,
+                  NodeId peer);
+  bool kill_due(NodeId n, std::uint64_t task_no) const;
+  bool throw_due(NodeId n, std::uint64_t task_no) const;
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::uint32_t batch_;
@@ -189,6 +299,17 @@ class Machine {
 
   std::mutex error_m_;
   std::exception_ptr first_error_;
+
+  // Fault injection. faults_ is written only while the machine is idle
+  // (constructor / set_fault_plan); workers read it only after observing
+  // faults_enabled_ with acquire, published with release.
+  FaultPlan faults_;
+  std::atomic<bool> faults_enabled_{false};
+  FaultCounters fault_counts_;
+  std::atomic<bool> accepting_{true};   // false after shutdown()
+  std::atomic<bool> discarding_{false}; // true while abandon_pending drains
+  std::atomic<std::uint64_t> discarded_posts_{0};
+  bool shutdown_done_ = false;
 
   std::mutex ext_rng_m_;
   Rng ext_rng_;

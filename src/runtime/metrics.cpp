@@ -15,6 +15,11 @@ Gauge& active_evals() {
   return g;
 }
 
+std::atomic<std::uint64_t>& dropped_task_errors() {
+  static std::atomic<std::uint64_t> n{0};
+  return n;
+}
+
 std::atomic<std::size_t>& eval_working_bytes() {
   static std::atomic<std::size_t> b{0};
   return b;

@@ -47,6 +47,12 @@ Gauge& live_bytes();
 /// Process-wide gauge of concurrently active node evaluations.
 Gauge& active_evals();
 
+/// Process-wide count of task exceptions that were dropped because no one
+/// was left to observe them — e.g. Machine::shutdown() (or ~Machine)
+/// draining a failed run whose error was never collected by wait_idle.
+/// Tests read this to assert that a failing task cannot vanish silently.
+std::atomic<std::uint64_t>& dropped_task_errors();
+
 /// RAII registration of `bytes` against live_bytes() — attach one to each
 /// large intermediate to make peak memory measurable.
 class TrackedBytes {

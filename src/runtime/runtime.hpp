@@ -2,6 +2,7 @@
 #pragma once
 
 #include "runtime/channel.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/machine.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/rng.hpp"

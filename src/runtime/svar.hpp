@@ -10,14 +10,56 @@
 
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 namespace motif::rt {
+
+namespace svar_detail {
+
+/// Process-wide registry of named, still-unbound SVar cells. The runtime's
+/// deadline classifier (Machine::wait_idle_for) reads it to report *which*
+/// dataflow variable a stalled run is waiting on — the Machine-level
+/// counterpart of the interpreter's "(waiting on X)" deadlock diagnostic.
+struct NameRegistry {
+  std::mutex m;
+  std::map<std::string, std::size_t> pending;  // name -> unbound cell count
+
+  static NameRegistry& instance() {
+    static NameRegistry r;
+    return r;
+  }
+  void add(const std::string& name) {
+    std::lock_guard lock(m);
+    ++pending[name];
+  }
+  void remove(const std::string& name) {
+    std::lock_guard lock(m);
+    auto it = pending.find(name);
+    if (it != pending.end() && --it->second == 0) pending.erase(it);
+  }
+};
+
+}  // namespace svar_detail
+
+/// Names of every named SVar that is still unbound, sorted. Diagnostics
+/// only: the set is sampled without stopping writers.
+inline std::vector<std::string> unbound_svar_names() {
+  auto& reg = svar_detail::NameRegistry::instance();
+  std::vector<std::string> out;
+  std::lock_guard lock(reg.m);
+  out.reserve(reg.pending.size());
+  for (const auto& [name, n] : reg.pending) {
+    if (n > 0) out.push_back(name);
+  }
+  return out;
+}
 
 /// Thrown when a single-assignment variable is bound twice.
 class SingleAssignmentViolation : public std::logic_error {
@@ -46,6 +88,7 @@ class SVar {
       if (s_->value.has_value()) throw SingleAssignmentViolation();
       s_->value.emplace(std::move(value));
       waiters.swap(s_->waiters);
+      s_->deregister_name();
     }
     s_->cv.notify_all();
     for (auto& w : waiters) w(*s_->value);
@@ -59,10 +102,26 @@ class SVar {
       if (s_->value.has_value()) return false;
       s_->value.emplace(std::move(value));
       waiters.swap(s_->waiters);
+      s_->deregister_name();
     }
     s_->cv.notify_all();
     for (auto& w : waiters) w(*s_->value);
     return true;
+  }
+
+  /// Names this variable for stall diagnostics: while it stays unbound,
+  /// the name appears in unbound_svar_names() and thus in
+  /// RunOutcome::blocked_on. Renaming an unbound variable replaces the
+  /// registration; naming a bound one is a no-op. Returns *this.
+  const SVar& set_name(std::string name) const {
+    std::lock_guard lock(s_->m);
+    if (s_->value.has_value()) return *this;
+    s_->deregister_name();
+    s_->name = std::move(name);
+    if (!s_->name.empty()) {
+      svar_detail::NameRegistry::instance().add(s_->name);
+    }
+    return *this;
   }
 
   bool bound() const {
@@ -109,6 +168,16 @@ class SVar {
     std::optional<T> value;
     std::condition_variable cv;
     std::vector<std::function<void(const T&)>> waiters;
+    std::string name;  // nonempty while registered in the name registry
+
+    /// Caller holds `m` (or is the last owner, in ~State).
+    void deregister_name() {
+      if (!name.empty()) {
+        svar_detail::NameRegistry::instance().remove(name);
+        name.clear();
+      }
+    }
+    ~State() { deregister_name(); }
   };
   std::shared_ptr<State> s_;
 };

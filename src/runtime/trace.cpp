@@ -125,6 +125,14 @@ void write_chrome_trace(const TraceLog& log, std::ostream& os) {
              << '}';
           w.close();
           break;
+        case TraceEventKind::Fault:
+          // Instant event: an injected fault (drop/dup/delay/kill/throw)
+          // pinned to the node that decided it.
+          w.open(e.name, "fault", 'i', tid, e.ts_ns);
+          os << ",\"s\":\"t\",\"args\":{\"peer\":" << e.peer
+             << ",\"ordinal\":" << e.id << '}';
+          w.close();
+          break;
       }
     }
   }
@@ -150,6 +158,7 @@ void write_text_summary(const TraceLog& log, std::ostream& os) {
     const TraceTrack& t = log.tracks[tid];
     std::uint64_t tasks = 0, sent = 0, recvd = 0, work = 0, hops = 0;
     std::map<std::string, std::uint64_t> spans;
+    std::map<std::string, std::uint64_t> faults;
     for (const TraceEvent& e : t.events) {
       switch (e.kind) {
         case TraceEventKind::TaskBegin:
@@ -168,6 +177,9 @@ void write_text_summary(const TraceLog& log, std::ostream& os) {
         case TraceEventKind::SpanBegin:
           ++spans[e.name];
           break;
+        case TraceEventKind::Fault:
+          ++faults[e.name];
+          break;
         default:
           break;
       }
@@ -181,6 +193,9 @@ void write_text_summary(const TraceLog& log, std::ostream& os) {
        << "\n";
     for (const auto& [name, n] : spans) {
       os << "  span " << name << ": " << n << "\n";
+    }
+    for (const auto& [name, n] : faults) {
+      os << "  fault " << name << ": " << n << "\n";
     }
   }
 }

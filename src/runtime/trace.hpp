@@ -53,6 +53,8 @@ enum class TraceEventKind : std::uint8_t {
   SpanEnd,     ///< ...closes
   MsgSend,     ///< remote post: `id` message id, `peer` dst track, `hops`
   MsgRecv,     ///< matching delivery: same `id`, `peer` src track
+  Fault,       ///< injected fault: `name` kind (drop/dup/delay/kill/throw),
+               ///< `peer` the other node involved, `id` the fault ordinal
 };
 
 /// Fixed-size trace record. Span labels are stored inline (truncated to

@@ -338,3 +338,63 @@ TEST(InferModes, EscapeIsMayBindButNotWrite) {
   EXPECT_TRUE(w.may_bind[0]);  // escapes into the box
   EXPECT_TRUE(w.writes[1]);
 }
+
+// --- ML060 unsupervised-remote-post (opt-in) -------------------------------
+
+TEST(Lint, Ml060FlagsBareRemotePost) {
+  an::Options opts;
+  opts.supervision = true;
+  opts.singletons = false;
+  const auto r = lint(
+      "main(T,V) :- reduce(T,V)@random.\n"
+      "reduce(_,_).\n",
+      opts);
+  ASSERT_EQ(count_code(r, Code::UnsupervisedRemotePost), 1u);
+  const auto* d = find_code(r, Code::UnsupervisedRemotePost);
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_EQ(d->definition.to_string(), "main/2");
+  EXPECT_TRUE(r.ok());  // a warning, not an error
+}
+
+TEST(Lint, Ml060AcceptsSupervisedAndTimeoutWrappers) {
+  an::Options opts;
+  opts.supervision = true;
+  opts.singletons = false;
+  const auto r = lint(
+      "safe(T,V) :- supervised(reduce(T,V)@random).\n"
+      "bounded(T,V) :- timeout(reduce(T,V)@2, 100).\n"
+      "reduce(_,_).\n",
+      opts);
+  EXPECT_EQ(count_code(r, Code::UnsupervisedRemotePost), 0u);
+  // The wrapper legalises the inner placement: no ML040 either.
+  EXPECT_EQ(count_code(r, Code::BadPlacement), 0u);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, Ml060OffByDefault) {
+  an::Options opts;
+  opts.singletons = false;
+  const auto r = lint(
+      "main(T,V) :- reduce(T,V)@random.\n"
+      "reduce(_,_).\n",
+      opts);
+  EXPECT_EQ(count_code(r, Code::UnsupervisedRemotePost), 0u);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, Ml060LocalGoalsAreNotFlagged) {
+  an::Options opts;
+  opts.supervision = true;
+  opts.singletons = false;
+  const auto r = lint(
+      "main(V) :- helper(V).\n"
+      "helper(V) :- V := 1.\n",
+      opts);
+  EXPECT_EQ(count_code(r, Code::UnsupervisedRemotePost), 0u);
+}
+
+TEST(Lint, Ml060CodeAndSlugAreStable) {
+  EXPECT_STREQ(an::code_id(Code::UnsupervisedRemotePost), "ML060");
+  EXPECT_STREQ(an::code_slug(Code::UnsupervisedRemotePost),
+               "unsupervised-remote-post");
+}

@@ -37,6 +37,8 @@ int usage() {
          "  --assume NAME/ARITY  treat as defined elsewhere (repeatable)\n"
          "  --stdlib             link the interpreter stdlib before linting\n"
          "  --no-singletons      suppress ML031 singleton warnings\n"
+         "  --supervision        ML060: warn on remote posts outside a\n"
+         "                       supervised/1 or timeout/2 wrapper\n"
          "  --werror             exit nonzero on warnings too\n"
          "  --quiet              print nothing, just set the exit status\n";
   return 2;
@@ -80,6 +82,8 @@ int main(int argc, char** argv) {
       use_stdlib = true;
     } else if (arg == "--no-singletons") {
       options.singletons = false;
+    } else if (arg == "--supervision") {
+      options.supervision = true;
     } else if (arg == "--werror") {
       werror = true;
     } else if (arg == "--quiet") {

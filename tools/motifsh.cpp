@@ -22,6 +22,11 @@
 // Invoke with `--trace FILE` to write a Chrome-trace JSON (load it in
 // chrome://tracing or Perfetto) after every traced :run.
 //
+// Fault injection (`--fault-seed N`, or the :faults command) runs every
+// subsequent :run under a deterministic FaultPlan — dropped, duplicated
+// and delayed cross-node messages, node kills, injected task throws — so
+// a motif's behaviour under partial failure is explorable from the shell.
+//
 // Reads commands from stdin (scriptable: `motifsh < script`), so it also
 // serves as an end-to-end smoke test target.
 #include <fstream>
@@ -30,6 +35,7 @@
 #include <sstream>
 #include <string>
 
+#include "runtime/fault.hpp"
 #include "runtime/trace.hpp"
 
 #include "analysis/lint.hpp"
@@ -60,6 +66,7 @@ struct Shell {
   std::string trace_file;  // --trace FILE: Chrome JSON after each :run
   motif::rt::TraceLog last_trace;
   bool had_trace = false;
+  motif::rt::FaultPlan faults;  // disabled unless :faults / --fault-seed
 
   std::optional<tf::Motif> motif_by_name(const std::string& name,
                                          const std::string& arg) {
@@ -113,6 +120,7 @@ struct Shell {
       in::InterpOptions opts;
       opts.nodes = nodes;
       opts.workers = 2;
+      opts.faults = faults;
       in::Interp interp(program, opts);
       if (trace_enabled) interp.machine().start_trace();
       auto [g, r] = interp.run_query(goal);
@@ -134,9 +142,32 @@ struct Shell {
         }
       }
       std::cout << "\n";
+      if (faults.enabled()) {
+        const auto t = interp.machine().fault_totals();
+        std::cout << "faults: drops=" << t.drops << " dead_drops="
+                  << t.dead_drops << " dups=" << t.duplicates
+                  << " delays=" << t.delays << " kills=" << t.kills
+                  << " throws=" << t.throws << "\n";
+      }
     } catch (const std::exception& e) {
       std::cout << "error: " << e.what() << "\n";
     }
+  }
+
+  void show_faults() const {
+    if (!faults.enabled()) {
+      std::cout << "faults: off\n";
+      return;
+    }
+    std::cout << "faults: seed=" << faults.seed << " drop=" << faults.drop
+              << " dup=" << faults.duplicate << " delay=" << faults.delay;
+    for (const auto& k : faults.kills) {
+      std::cout << " kill(" << k.node << "@" << k.after_tasks << ")";
+    }
+    for (const auto& t : faults.throws) {
+      std::cout << " throw(" << t.node << "@" << t.on_task << ")";
+    }
+    std::cout << "\n";
   }
 
   bool handle(const std::string& line) {
@@ -258,6 +289,55 @@ struct Shell {
       }
       return true;
     }
+    if (cmd == "faults") {
+      std::istringstream rs(rest);
+      std::string sub;
+      rs >> sub;
+      try {
+        if (sub.empty() || sub == "show") {
+          show_faults();
+        } else if (sub == "off") {
+          faults = motif::rt::FaultPlan{};
+          std::cout << "faults: off\n";
+        } else if (sub == "chaos") {
+          std::string seed;
+          rs >> seed;
+          faults = motif::rt::FaultPlan::chaos(
+              seed.empty() ? faults.seed : std::stoull(seed));
+          show_faults();
+        } else if (sub == "seed") {
+          std::string seed;
+          rs >> seed;
+          faults.seed = std::stoull(seed);
+          show_faults();
+        } else if (sub == "drop" || sub == "dup" || sub == "delay") {
+          std::string p;
+          rs >> p;
+          (sub == "drop" ? faults.drop
+                         : sub == "dup" ? faults.duplicate : faults.delay) =
+              std::stod(p);
+          show_faults();
+        } else if (sub == "kill" || sub == "throw") {
+          std::string node, when;
+          rs >> node >> when;
+          const auto n = static_cast<std::uint32_t>(std::stoul(node));
+          const auto k = when.empty() ? 1 : std::stoull(when);
+          if (sub == "kill") {
+            faults.kills.push_back({n, k});
+          } else {
+            faults.throws.push_back({n, k});
+          }
+          show_faults();
+        } else {
+          std::cout << ":faults [show] | off | chaos [seed] | seed N | "
+                       "drop P | dup P | delay P | kill NODE [AFTER] | "
+                       "throw NODE [TASK]\n";
+        }
+      } catch (const std::exception&) {
+        std::cout << "bad :faults argument (numbers expected)\n";
+      }
+      return true;
+    }
     if (cmd == "profile") {
       if (!had_run) {
         std::cout << "no run yet\n";
@@ -271,7 +351,8 @@ struct Shell {
     if (cmd == "help" || cmd == "h") {
       std::cout << ":load FILE | :stdlib | :apply MOTIF [keys] | :list | "
                    ":lint [entry/k ...] | :clear | :nodes N | :run GOAL | "
-                   ":profile | :trace on|off|dump [file] | :quit\n"
+                   ":profile | :trace on|off|dump [file] | "
+                   ":faults [chaos|off|...] | :quit\n"
                    "bare lines are parsed as clauses and added\n";
       return true;
     }
@@ -289,8 +370,16 @@ int main(int argc, char** argv) {
     if (arg == "--trace" && i + 1 < argc) {
       shell.trace_file = argv[++i];
       shell.trace_enabled = true;
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      try {
+        shell.faults = motif::rt::FaultPlan::chaos(std::stoull(argv[++i]));
+      } catch (const std::exception&) {
+        std::cerr << "motifsh: --fault-seed expects a number\n";
+        return 2;
+      }
     } else {
-      std::cerr << "usage: motifsh [--trace FILE]  (commands on stdin)\n";
+      std::cerr << "usage: motifsh [--trace FILE] [--fault-seed N]  "
+                   "(commands on stdin)\n";
       return 2;
     }
   }
