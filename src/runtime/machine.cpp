@@ -10,8 +10,89 @@ namespace {
 thread_local NodeId tl_current_node = kNoNode;
 }  // namespace
 
+/// Mailbox entry: intrusive link first (so a link pointer converts back to
+/// its MailNode), then the task and its fault/trace metadata. Entries are
+/// recycled through per-worker free lists — in steady state a post on the
+/// hot path allocates nothing.
+struct Machine::MailNode {
+  MpscLink link;
+  TaskFn fn;
+  std::uint32_t delay = 0;  // fault-injected bounces left before running
+  /// Sender node. Lets the drainer do the receive-side accounting
+  /// (single-writer store) instead of a multi-producer RMW at post time.
+  NodeId from = kNoNode;
+#if MOTIF_TRACING
+  std::uint64_t trace_msg = 0;  // nonzero: traced remote message id
+  std::uint32_t hops = 0;
+#endif
+  MailNode* free_next = nullptr;
+
+  static MailNode* from_link(MpscLink* lk) {
+    // `link` is the first member, so the addresses coincide.
+    return reinterpret_cast<MailNode*>(lk);
+  }
+};
+
+struct Machine::Worker {
+  /// Free-list bound: big enough to absorb a full batch of productions,
+  /// small enough that an idle machine is not sitting on memory.
+  static constexpr std::uint32_t kMaxFree = 256;
+  /// Pending-credit lease block (see post()): credits bought from
+  /// pending_ in bulk, spent locally one post at a time.
+  static constexpr std::uint32_t kPendingLease = 64;
+
+  Machine* machine;
+  std::uint32_t index;
+  WorkDeque deque;
+  Rng rng;  // victim selection for stealing; determinism not required
+  MailNode* free_head = nullptr;
+  std::uint32_t free_count = 0;
+  /// Unspent pre-paid pending_ credits. Nonzero only inside run_node();
+  /// every drain-exit path returns the remainder, so an idle worker never
+  /// holds pending_ above zero.
+  std::uint32_t pending_lease = 0;
+  /// Direct-handoff slot: the node this worker will run next, bypassing
+  /// the deque (saves two locked RMWs and a wake per activation on serial
+  /// continuation chains). Owner-only; invisible to thieves and
+  /// work_available(). That is safe because the owner consumes the slot
+  /// on its very next loop iteration — it can never park over it — and
+  /// an occupied slot keeps pending_ nonzero, so shutdown()'s quiescence
+  /// wait cannot pass it by either.
+  std::uint32_t handoff = WorkDeque::kNone;
+  /// Consecutive handoff activations; bounded by kHandoffCap so a hot
+  /// chain periodically yields to deque/global work.
+  std::uint32_t handoff_streak = 0;
+  static constexpr std::uint32_t kHandoffCap = 16;
+
+  // Substrate counters: relaxed atomics so sched_stats()/load_summary()
+  // can snapshot them while the machine runs.
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> parks{0};
+  std::atomic<std::uint64_t> fast_hits{0};
+#if MOTIF_TRACING
+  // Last values emitted as trace counters (worker-thread private).
+  std::uint64_t last_steals = 0;
+  std::uint64_t last_parks = 0;
+  std::uint64_t last_hits = 0;
+#endif
+
+  Worker(Machine* m, std::uint32_t i, std::uint64_t seed)
+      : machine(m), index(i), rng(seed) {}
+  ~Worker() {
+    MailNode* p = free_head;  // worker_loop normally drained this already
+    while (p != nullptr) {
+      MailNode* nx = p->free_next;
+      delete p;
+      p = nx;
+    }
+  }
+};
+
+thread_local Machine::Worker* Machine::tl_worker_ = nullptr;
+
 Machine::Machine(MachineConfig cfg)
     : batch_(std::max<std::uint32_t>(1, cfg.batch)),
+      probe_queue_depth_(cfg.probe_queue_depth),
       ext_rng_(cfg.seed ^ 0xE27ull),
       topology_(cfg.topology) {
   const std::uint32_t n = std::max<std::uint32_t>(1, cfg.nodes);
@@ -25,29 +106,46 @@ Machine::Machine(MachineConfig cfg)
   }
   faults_ = cfg.faults;
   faults_enabled_.store(faults_.enabled(), std::memory_order_release);
+  std::uint32_t w = cfg.workers;
+  if (w == 0) {
+    const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    w = std::min(n, hw);
+  }
 #if MOTIF_TRACING
   tracer_ = std::make_unique<Tracer>(
       TracerOptions{std::max<std::size_t>(2, cfg.trace_capacity)});
   for (std::uint32_t i = 0; i < n; ++i) {
     tracer_->add_track("node " + std::to_string(i));
   }
+  if (cfg.trace_sched_counters) {
+    // Worker tracks follow the node tracks; consumers that only know
+    // about node tracks are unaffected unless they opt in.
+    worker_track_base_ = n;
+    for (std::uint32_t i = 0; i < w; ++i) {
+      tracer_->add_track("worker " + std::to_string(i));
+    }
+  }
 #endif
-  std::uint32_t w = cfg.workers;
-  if (w == 0) {
-    const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
-    w = std::min(n, hw);
+  worker_data_.reserve(w);
+  for (std::uint32_t i = 0; i < w; ++i) {
+    worker_data_.push_back(std::make_unique<Worker>(this, i, splitmix64(s)));
   }
   workers_.reserve(w);
   for (std::uint32_t i = 0; i < w; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 Machine::~Machine() { shutdown(); }
 
 void Machine::shutdown() {
-  if (shutdown_done_) return;
-  shutdown_done_ = true;
+  // once_flag: a concurrent shutdown() + destructor (or two racing
+  // shutdowns) performs the sequence exactly once, and every caller
+  // blocks until it has completed.
+  std::call_once(shutdown_once_, [this] { do_shutdown(); });
+}
+
+void Machine::do_shutdown() {
   // Drain outstanding work first so no posted task is silently dropped.
   {
     std::unique_lock lock(idle_m_);
@@ -77,11 +175,8 @@ void Machine::shutdown() {
                  what.c_str());
   }
   accepting_.store(false, std::memory_order_release);
-  {
-    std::lock_guard lock(ready_m_);
-    stopping_ = true;
-  }
-  ready_cv_.notify_all();
+  stopping_.store(true, std::memory_order_seq_cst);
+  ec_.notify_all();
   for (auto& t : workers_) t.join();
   workers_.clear();
 }
@@ -126,7 +221,8 @@ void Machine::post(NodeId n, Task t) {
     return;
   }
   const NodeId from = tl_current_node;
-  if (nodes_[n]->dead.load(std::memory_order_acquire)) {
+  Node& dst = *nodes_[n];
+  if (dst.dead.load(std::memory_order_acquire)) {
     // A crashed processor loses its mail silently — the defining hazard
     // the supervision layer exists to classify.
     fault_counts_.dead_drops.fetch_add(1, std::memory_order_relaxed);
@@ -139,7 +235,12 @@ void Machine::post(NodeId n, Task t) {
   std::uint64_t ordinal = 0;
   if (from != kNoNode && from != n &&
       faults_enabled_.load(std::memory_order_acquire)) {
-    ordinal = nodes_[from]->xposts.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Sender-side state is single-writer — only node `from`'s drainer
+    // executes this, and activation handoff orders successive drainers —
+    // so a plain load+store avoids the locked RMW.
+    Node& src = *nodes_[from];
+    ordinal = src.xposts.load(std::memory_order_relaxed) + 1;
+    src.xposts.store(ordinal, std::memory_order_relaxed);
     pf = faults_.post_fault(from, ordinal);
   }
   if (pf == PostFault::Drop) {
@@ -147,29 +248,41 @@ void Machine::post(NodeId n, Task t) {
     emit_fault(from, "drop", ordinal, n);
     return;
   }
-  QueuedTask qt{std::move(t)};
+  std::uint32_t delay = 0;
   if (pf == PostFault::Delay) {
-    qt.delay = 1;  // one bounce: re-queued behind later arrivals
+    delay = 1;  // one bounce: re-queued behind later arrivals
     fault_counts_.delays.fetch_add(1, std::memory_order_relaxed);
     emit_fault(from, "delay", ordinal, n);
   }
+#if MOTIF_TRACING
+  std::uint64_t trace_msg = 0;
+  std::uint32_t msg_hops = 0;
+#endif
   if (from == kNoNode) {
     // external producer; not an inter-processor message
   } else if (from == n) {
-    nodes_[from]->counters.posts_local.fetch_add(1, std::memory_order_relaxed);
+    Node& src = *nodes_[from];  // single-writer, see above
+    src.counters.posts_local.store(
+        src.counters.posts_local.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
   } else {
     const std::uint32_t hops = hop_distance(from, n);
-    nodes_[from]->counters.posts_remote.fetch_add(1, std::memory_order_relaxed);
-    nodes_[from]->counters.hops.fetch_add(hops, std::memory_order_relaxed);
-    nodes_[n]->counters.recv_remote.fetch_add(1, std::memory_order_relaxed);
+    Node& src = *nodes_[from];  // single-writer, see above
+    src.counters.posts_remote.store(
+        src.counters.posts_remote.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    src.counters.hops.store(
+        src.counters.hops.load(std::memory_order_relaxed) + hops,
+        std::memory_order_relaxed);
+    // recv_remote is counted by the receiving drainer (single-writer),
+    // not here — the receive side has many concurrent posters.
 #if MOTIF_TRACING
     if (tracer_->active()) {
       // The calling thread is running node `from`, i.e. it is that
       // track's (single) writer right now.
-      qt.trace_msg = tracer_->next_msg_id();
-      qt.from = from;
-      qt.hops = hops;
-      tracer_->emit(from, TraceEventKind::MsgSend, nullptr, qt.trace_msg, n,
+      trace_msg = tracer_->next_msg_id();
+      msg_hops = hops;
+      tracer_->emit(from, TraceEventKind::MsgSend, nullptr, trace_msg, n,
                     hops);
     }
 #endif
@@ -179,23 +292,92 @@ void Machine::post(NodeId n, Task t) {
     fault_counts_.duplicates.fetch_add(1, std::memory_order_relaxed);
     emit_fault(from, "dup", ordinal, n);
   }
-  pending_.fetch_add(dup ? 2 : 1, std::memory_order_relaxed);
-  bool need_schedule = false;
-  {
-    std::lock_guard lock(nodes_[n]->m);
-    if (dup) nodes_[n]->q.push_back(qt);  // second delivery of the same msg
-    nodes_[n]->q.push_back(std::move(qt));
-    const auto depth = static_cast<std::uint64_t>(nodes_[n]->q.size());
+  Worker* w = tl_worker_;
+  if (w != nullptr && w->machine != this) w = nullptr;
+  // The pending credit must be GLOBAL before the push: the instant the
+  // entry is visible another worker can run it and apply its drop in that
+  // worker's drain-exit flush — a credit still sitting in a producer-side
+  // buffer would let pending_ touch zero mid-computation. (Drops are the
+  // safe side to defer; credits are not.) Workers therefore PRE-PAY a
+  // lease of kPendingLease credits in one RMW and spend it locally:
+  // pending_ transiently over-states outstanding work — harmless, idle
+  // waiters can only wake late — and the drain-exit flush returns the
+  // unspent remainder.
+  const std::uint32_t need = dup ? 2u : 1u;
+  if (w != nullptr) {
+    if (w->pending_lease < need) {
+      pending_.fetch_add(Worker::kPendingLease, std::memory_order_relaxed);
+      w->pending_lease += Worker::kPendingLease;
+    }
+    w->pending_lease -= need;
+  } else {
+    pending_.fetch_add(need, std::memory_order_relaxed);
+  }
+  const auto fill = [&](MailNode* m, TaskFn f) {
+    m->fn = std::move(f);
+    m->delay = delay;
+    m->from = from;
+#if MOTIF_TRACING
+    m->trace_msg = trace_msg;
+    m->hops = msg_hops;
+#endif
+  };
+  if (dup) {
+    // TaskFn is move-only (tasks run exactly once); the two deliveries of
+    // a duplicated message share the callable instead of copying it.
+    auto shared = std::make_shared<TaskFn>(std::move(t));
+    MailNode* m1 = alloc_mail(w);
+    fill(m1, TaskFn([shared] { (*shared)(); }));
+    MailNode* m2 = alloc_mail(w);
+    fill(m2, TaskFn([shared] { (*shared)(); }));
+    dst.mail.push(&m1->link);
+    dst.mail.push(&m2->link);
+  } else {
+    MailNode* m1 = alloc_mail(w);
+    fill(m1, std::move(t));
+    dst.mail.push(&m1->link);
+  }
+  if (probe_queue_depth_) {
+    const auto depth = static_cast<std::uint64_t>(
+        dst.depth.fetch_add(dup ? 2 : 1, std::memory_order_relaxed) +
+        (dup ? 2 : 1));
     std::uint64_t peak = peak_queue_.load(std::memory_order_relaxed);
     while (depth > peak && !peak_queue_.compare_exchange_weak(
                                peak, depth, std::memory_order_relaxed)) {
     }
-    if (!nodes_[n]->scheduled) {
-      nodes_[n]->scheduled = true;
-      need_schedule = true;
-    }
   }
-  if (need_schedule) enqueue_ready(n);
+  // Activation. Fast path first: a seq_cst LOAD that sees kScheduled is
+  // proof enough — the push above is itself a seq_cst RMW, so in the
+  // single total order it precedes this load, which precedes the
+  // drainer's Idle store, which precedes the drainer's mailbox re-probe:
+  // the release protocol is guaranteed to see our entry and re-arm. (A
+  // *relaxed* load here would NOT be: without the RMW-load/store-load
+  // ordering the classic store-buffering interleaving loses the wakeup.)
+  // On x86 the load is a plain MOV, so the already-scheduled case — the
+  // common one under load — costs no locked instruction at all.
+  if (dst.state.load(std::memory_order_seq_cst) == kScheduled) {
+    if (w != nullptr) {
+      // Single-writer (this worker's own counter): no RMW on the fast path.
+      w->fast_hits.store(w->fast_hits.load(std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+    } else {
+      ext_fast_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Slow path: the node looked idle; the seq_cst exchange decides the
+  // race against the release protocol (and other producers) — exactly
+  // one side schedules the node, at most one activation in flight.
+  const std::uint8_t prev =
+      dst.state.exchange(kScheduled, std::memory_order_seq_cst);
+  if (prev == kIdle) {
+    activate(w, n);
+  } else if (w != nullptr) {
+    w->fast_hits.store(w->fast_hits.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+  } else {
+    ext_fast_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Machine::post_local(Task t) {
@@ -212,91 +394,324 @@ NodeId Machine::random_node() {
   return static_cast<NodeId>(ext_rng_.below(nodes_.size()));
 }
 
-void Machine::enqueue_ready(NodeId n) {
-  {
-    std::lock_guard lock(ready_m_);
-    ready_.push_back(n);
+Machine::MailNode* Machine::alloc_mail(Worker* w) {
+  if (w != nullptr && w->free_head != nullptr) {
+    MailNode* m = w->free_head;
+    w->free_head = m->free_next;
+    --w->free_count;
+    return m;
   }
-  ready_cv_.notify_one();
+  return new MailNode;
 }
 
-void Machine::worker_loop() {
-  for (;;) {
-    NodeId n;
-    {
-      std::unique_lock lock(ready_m_);
-      ready_cv_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
-      if (ready_.empty()) return;  // stopping and drained
-      n = ready_.front();
-      ready_.pop_front();
+void Machine::free_mail(Worker* w, MailNode* m) {
+  m->fn.reset();
+  if (w != nullptr && w->free_count < Worker::kMaxFree) {
+    m->free_next = w->free_head;
+    w->free_head = m;
+    ++w->free_count;
+    return;
+  }
+  delete m;
+}
+
+void Machine::activate(Worker* w, NodeId n) {
+  if (w != nullptr) {
+    if (w->handoff == kNoNode) {
+      // Direct handoff: the continuation this worker just produced is
+      // the hottest work in its cache and the worker is guaranteed to
+      // look for work again momentarily — run it next without touching
+      // the deque. A serial chain (each task posts exactly one
+      // successor) cannot be parallelised anyway; when our deque ALSO
+      // holds stealable surplus, still ping a thief so that surplus
+      // gets picked up promptly.
+      w->handoff = n;
+      if (w->deque.maybe_nonempty()) ec_.notify_if_waiting();
+      return;
     }
-    run_node(n);
+    // Slot taken (fan-out > 1): LIFO push — the newest continuation is
+    // hottest; thieves take the other (FIFO) end.
+    w->deque.push(n);
+    ec_.notify_if_waiting();
+  } else {
+    inject_push(n);
+    ec_.notify_if_waiting();
   }
 }
 
-void Machine::run_node(NodeId n) {
+void Machine::inject_push(NodeId n) {
+  std::lock_guard lock(inject_m_);
+  inject_.push_back(n);
+  inject_size_.fetch_add(1, std::memory_order_seq_cst);
+  injects_.fetch_add(1, std::memory_order_relaxed);
+}
+
+NodeId Machine::inject_pop() {
+  if (inject_size_.load(std::memory_order_relaxed) == 0) return kNoNode;
+  std::lock_guard lock(inject_m_);
+  if (inject_.empty()) return kNoNode;
+  const NodeId n = inject_.front();
+  inject_.pop_front();
+  inject_size_.fetch_sub(1, std::memory_order_relaxed);
+  return n;
+}
+
+NodeId Machine::try_steal(Worker& w) {
+  const auto nw = static_cast<std::uint32_t>(worker_data_.size());
+  if (nw <= 1) return kNoNode;
+  for (std::uint32_t round = 0; round < 2; ++round) {
+    const auto start = static_cast<std::uint32_t>(w.rng.below(nw));
+    for (std::uint32_t i = 0; i < nw; ++i) {
+      const std::uint32_t victim = (start + i) % nw;
+      if (victim == w.index) continue;
+      const std::uint32_t got = worker_data_[victim]->deque.steal();
+      if (got != WorkDeque::kNone) {
+        // Single-writer: only this worker's thread writes its counter.
+        w.steals.store(w.steals.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+        return got;
+      }
+    }
+  }
+  return kNoNode;
+}
+
+bool Machine::work_available() const {
+  if (inject_size_.load(std::memory_order_seq_cst) != 0) return true;
+  for (const auto& wd : worker_data_) {
+    if (wd->deque.maybe_nonempty()) return true;
+  }
+  return false;
+}
+
+void Machine::idle_wait(Worker& w) {
+  // Adaptive idling: spin briefly (arrivals are usually imminent under
+  // load), yield the core every few rounds, then park on the eventcount.
+  for (int spin = 0; spin < 64; ++spin) {
+    if (stopping_.load(std::memory_order_acquire) || work_available()) return;
+    if ((spin & 7) == 7) {
+      std::this_thread::yield();
+    } else {
+      cpu_relax();
+    }
+  }
+  const std::uint64_t key = ec_.prepare_wait();
+  if (stopping_.load(std::memory_order_acquire) || work_available()) {
+    ec_.cancel_wait();
+    return;
+  }
+  w.parks.store(w.parks.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  ec_.commit_wait(key);
+}
+
+void Machine::worker_loop(std::uint32_t index) {
+  Worker& w = *worker_data_[index];
+  tl_worker_ = &w;
+  std::uint64_t tick = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    NodeId n = kNoNode;
+    // Fairness valve: periodically service the global FIFO and then the
+    // *oldest* entry of our own deque (self-steal from the thief end),
+    // even while the local LIFO chain is hot. Without this, a hot
+    // post-run-post cycle between two nodes can starve sibling
+    // activations sitting under it for the whole run — stealing alone
+    // does not bound that on an oversubscribed host.
+    if (++tick % kInjectPollTicks == 0) {
+      n = inject_pop();
+      if (n == kNoNode) n = w.deque.steal();
+    }
+    if (n == kNoNode && w.handoff != kNoNode) {
+      if (++w.handoff_streak <= Worker::kHandoffCap) {
+        n = w.handoff;
+        w.handoff = kNoNode;
+      } else {
+        // Streak cap: demote the chain into the deque and take the fair
+        // path below, giving deque/global work a turn and thieves a
+        // window.
+        w.handoff_streak = 0;
+        w.deque.push(w.handoff);
+        w.handoff = kNoNode;
+        ec_.notify_if_waiting();
+      }
+    }
+    if (n == kNoNode) {
+      w.handoff_streak = 0;
+      n = w.deque.pop();
+    }
+    if (n == kNoNode) n = inject_pop();
+    if (n == kNoNode) n = try_steal(w);
+    if (n == kNoNode) {
+      idle_wait(w);
+    } else {
+      run_node(n, &w);
+    }
+#if MOTIF_TRACING
+    if (worker_track_base_ != 0) emit_sched_counters(w);
+#endif
+  }
+  // Unreachable in a correct run (see the handoff field comment), but if
+  // the invariant were ever broken, surfacing the activation beats
+  // stranding its mail.
+  if (w.handoff != kNoNode) {
+    inject_push(w.handoff);
+    w.handoff = kNoNode;
+  }
+  // Return the free list before the thread goes away.
+  MailNode* p = w.free_head;
+  while (p != nullptr) {
+    MailNode* nx = p->free_next;
+    delete p;
+    p = nx;
+  }
+  w.free_head = nullptr;
+  w.free_count = 0;
+  tl_worker_ = nullptr;
+}
+
+void Machine::run_node(NodeId n, Worker* w) {
   Node& node = *nodes_[n];
+  // We hold the node's (single) activation: state stays kScheduled until
+  // the release protocol below observes an empty mailbox.
+  // Settles a shed's pending_ debt plus any credit lease (see post())
+  // picked up along the way — e.g. by a task destructor that posts.
+  const auto shed_settle = [&](std::uint64_t shed) {
+    if (w != nullptr) {
+      shed += w->pending_lease;
+      w->pending_lease = 0;
+    }
+    if (shed != 0) note_pending_sub(shed);
+  };
   if (node.dead.load(std::memory_order_acquire)) {
     // Mail that raced past the dead-check in post(): shed it here so
     // pending_ still drains and the machine quiesces instead of hanging.
-    note_pending_sub(shed_queue(node, /*as_dead_drops=*/true));
+    shed_settle(shed_and_release(node, /*as_dead_drops=*/true));
+    return;
+  }
+  if (discarding_.load(std::memory_order_acquire)) {
+    shed_settle(shed_and_release(node, /*as_dead_drops=*/false));
     return;
   }
   tl_current_node = n;
 #if MOTIF_TRACING
   // Bind this thread to the node's trace track so EvalScope and
   // TRACE_SPAN emissions inside tasks land on the right timeline. The
-  // ready-list handoff serialises successive writers of one track.
+  // activation handoff serialises successive writers of one track.
   ThreadTrackGuard trace_guard(tracer_.get(), n);
 #endif
   std::uint32_t executed = 0;
+  std::uint32_t spins = 0;
+  std::uint64_t completed = 0;  // executed tasks; pending_ is credited once
+  // Drain-local counter accumulators. They MUST be flushed before the
+  // release protocol publishes Idle: the moment another worker can win
+  // the activation it may start a drain and read counters.tasks — a
+  // flush after that point would be a lost update (and would corrupt
+  // the fault lottery's task ordinals). The exit flush below only
+  // covers break paths that do not publish Idle themselves.
+  std::uint64_t task_base =
+      node.counters.tasks.load(std::memory_order_relaxed);
+  std::uint64_t tasks_run = 0;
+  std::uint64_t recv_rem = 0;
+  const auto flush_counters = [&] {
+    if (tasks_run != 0) {
+      task_base += tasks_run;
+      tasks_run = 0;
+      node.counters.tasks.store(task_base, std::memory_order_relaxed);
+    }
+    if (recv_rem != 0) {
+      node.counters.recv_remote.store(
+          node.counters.recv_remote.load(std::memory_order_relaxed) +
+              recv_rem,
+          std::memory_order_relaxed);
+      recv_rem = 0;
+    }
+  };
   bool died = false;
   for (;;) {
-    QueuedTask t;
-    {
-      std::lock_guard lock(node.m);
-      if (node.q.empty()) {
-        node.scheduled = false;
-        break;
+    MpscLink* lk = nullptr;
+    const MpscQueue::Pop r = node.mail.try_pop(&lk);
+    if (r == MpscQueue::Pop::kRetry) {
+      // A producer sits between its back_ exchange and its link store;
+      // the entry is instants away unless it lost its timeslice.
+      if (++spins > 64) {
+        std::this_thread::yield();
+      } else {
+        cpu_relax();
       }
-      if (executed >= batch_) {
-        // Yield the worker but keep the node scheduled; requeue it so
-        // other ready nodes get a turn (fairness across virtual nodes).
-        break;
-      }
-      t = std::move(node.q.front());
-      node.q.pop_front();
+      continue;
     }
-    if (t.delay > 0) {
+    spins = 0;
+    if (r == MpscQueue::Pop::kEmpty) {
+      // Release protocol: publish Idle, then re-probe the mailbox. A
+      // producer that pushed before seeing Idle is caught by the probe
+      // (seq_cst pairing in sched_queue.hpp); one that saw Idle
+      // schedules the activation itself. The CAS decides the race when
+      // both notice. NOTE: this is the only place maybe_nonempty() may
+      // be consulted — after a kEmpty verdict it cannot false-negative.
+      // (exchange, not store: a seq_cst RMW is one locked instruction on
+      // x86 where a seq_cst store costs a trailing full fence.)
+      flush_counters();
+      node.state.exchange(kIdle, std::memory_order_seq_cst);
+      if (node.mail.maybe_nonempty()) {
+        std::uint8_t expected = kIdle;
+        if (node.state.compare_exchange_strong(expected, kScheduled,
+                                               std::memory_order_seq_cst)) {
+          // Mail raced our empty verdict and we won the activation back:
+          // keep draining in place rather than round-tripping the
+          // activation through the deque (two seq_cst fences). `executed`
+          // keeps counting, so the batch_ fairness bound still holds.
+          continue;
+        }
+      }
+      break;
+    }
+    MailNode* m = MailNode::from_link(lk);
+    if (m->delay > 0) {
       // Fault-injected delay: bounce the task to the back of the queue
       // so anything that arrived since overtakes it. No counters — the
       // task has not run.
-      --t.delay;
-      {
-        std::lock_guard lock(node.m);
-        node.q.push_back(std::move(t));
-      }
+      --m->delay;
+      node.mail.push(&m->link);
       ++executed;
+      if (executed >= batch_) {
+        flush_counters();  // see below: inject_push hands off the drain
+        inject_push(n);
+        ec_.notify_if_waiting();
+        break;
+      }
       continue;
     }
+    TaskFn fn = std::move(m->fn);
+    const NodeId msg_from = m->from;
+#if MOTIF_TRACING
+    const std::uint64_t msg = m->trace_msg;
+    const std::uint32_t msg_hops = m->hops;
+#endif
+    // Recycle the entry before running the task: the task's own posts
+    // (the common continuation pattern) reuse it while it is cache-hot.
+    free_mail(w, m);
+    if (probe_queue_depth_) node.depth.fetch_sub(1, std::memory_order_relaxed);
     ++executed;
-    const std::uint64_t task_no =
-        node.counters.tasks.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Single-writer counters (we hold the activation): accumulated in
+    // locals and stored once at drain exit. task_no stays exact — it is
+    // the fault lottery's replay ordinal.
+    const std::uint64_t task_no = task_base + ++tasks_run;
+    if (msg_from != kNoNode && msg_from != n) ++recv_rem;
 #if MOTIF_TRACING
     const bool traced = tracer_->active();
     std::uint64_t work_before = 0;
     if (traced) {
       tracer_->emit(n, TraceEventKind::TaskBegin);
-      if (t.trace_msg != 0) {
-        tracer_->emit(n, TraceEventKind::MsgRecv, nullptr, t.trace_msg,
-                      t.from, t.hops);
+      if (msg != 0) {
+        tracer_->emit(n, TraceEventKind::MsgRecv, nullptr, msg, msg_from,
+                      msg_hops);
       }
       work_before = node.counters.work.load(std::memory_order_relaxed);
     }
 #endif
+    const bool faults_on = faults_enabled_.load(std::memory_order_acquire);
     try {
-      if (faults_enabled_.load(std::memory_order_acquire) &&
-          throw_due(n, task_no)) {
+      if (faults_on && throw_due(n, task_no)) {
         fault_counts_.throws.fetch_add(1, std::memory_order_relaxed);
         emit_fault(n, "throw", task_no, n);
         // The task body never runs: the "process" died before producing
@@ -304,7 +719,7 @@ void Machine::run_node(NodeId n) {
         throw InjectedFault("injected fault: node " + std::to_string(n) +
                             " task " + std::to_string(task_no));
       }
-      t.fn();
+      fn();
     } catch (...) {
       std::lock_guard lock(error_m_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -317,35 +732,102 @@ void Machine::run_node(NodeId n) {
                     work_after - work_before);
     }
 #endif
-    if (faults_enabled_.load(std::memory_order_acquire) &&
-        kill_due(n, task_no)) {
+    if (faults_on && kill_due(n, task_no)) {
       node.dead.store(true, std::memory_order_release);
       fault_counts_.kills.fetch_add(1, std::memory_order_relaxed);
       emit_fault(n, "kill", task_no, n);
-      // The dead node's remaining mail is lost with it.
-      note_pending_sub(shed_queue(node, /*as_dead_drops=*/true));
       died = true;
     }
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lock(idle_m_);
-      idle_cv_.notify_all();
+    ++completed;
+    if (died) {
+      // The dead node's remaining mail is lost with it.
+      completed += shed_and_release(node, /*as_dead_drops=*/true);
+      break;
     }
-    if (died) break;
+    if (discarding_.load(std::memory_order_acquire)) {
+      completed += shed_and_release(node, /*as_dead_drops=*/false);
+      break;
+    }
+    if (executed >= batch_) {
+      // Batch exhausted: keep the activation (state stays Scheduled) but
+      // route it through the global FIFO so other ready nodes get a turn
+      // — re-pushing onto our own LIFO deque would starve them. Flush
+      // first: the moment the id is in the inject queue another worker
+      // may pop it and begin a drain that reads counters.tasks.
+      flush_counters();
+      inject_push(n);
+      ec_.notify_if_waiting();
+      break;
+    }
   }
+  // Covers the died/discarding breaks (no-op on the other paths, which
+  // flushed before handing off). Safe even though shed_and_release has
+  // published Idle: dead/discarding re-activations return before ever
+  // touching these counters.
+  flush_counters();
+  // One pending_ decrement per drain instead of one per task, settling
+  // the completed/shed count AND returning the unspent credit lease (see
+  // post()). Deferring the SUBTRACT side is always safe: until the flush,
+  // pending_ merely over-states the outstanding work, so idle-waiters can
+  // only wake late, never early.
+  std::uint64_t settle = completed;
+  if (w != nullptr) {
+    settle += w->pending_lease;
+    w->pending_lease = 0;
+  }
+  if (settle != 0) note_pending_sub(settle);
   tl_current_node = kNoNode;
-  if (executed >= batch_) {
-    // Re-arm: the node still holds work (or raced with a post; the
-    // scheduled flag stays true so it is in the ready list exactly once).
-    bool requeue = false;
-    {
-      std::lock_guard lock(node.m);
-      if (!node.q.empty()) {
-        requeue = true;
+}
+
+std::uint64_t Machine::shed_mailbox(Node& node, bool as_dead_drops) {
+  Worker* w = tl_worker_;
+  if (w != nullptr && w->machine != this) w = nullptr;
+  std::uint64_t shed = 0;
+  std::uint32_t spins = 0;
+  for (;;) {
+    MpscLink* lk = nullptr;
+    const MpscQueue::Pop r = node.mail.try_pop(&lk);
+    if (r == MpscQueue::Pop::kEmpty) break;
+    if (r == MpscQueue::Pop::kRetry) {
+      if (++spins > 64) {
+        std::this_thread::yield();
       } else {
-        node.scheduled = false;
+        cpu_relax();
       }
+      continue;
     }
-    if (requeue) enqueue_ready(n);
+    spins = 0;
+    free_mail(w, MailNode::from_link(lk));
+    ++shed;
+  }
+  if (shed != 0) {
+    if (probe_queue_depth_) {
+      node.depth.fetch_sub(static_cast<std::uint32_t>(shed),
+                           std::memory_order_relaxed);
+    }
+    auto& counter =
+        as_dead_drops ? fault_counts_.dead_drops : discarded_posts_;
+    counter.fetch_add(shed, std::memory_order_relaxed);
+  }
+  return shed;
+}
+
+std::uint64_t Machine::shed_and_release(Node& node, bool as_dead_drops) {
+  // Caller holds the activation. Shed, release, and re-claim if mail
+  // raced in behind the shed — otherwise that mail would strand (its
+  // producer saw Scheduled and did not activate). Returns the number of
+  // tasks shed; the CALLER settles the pending_ accounting (workers fold
+  // it into their drain-exit batch decrement).
+  std::uint64_t shed = 0;
+  for (;;) {
+    shed += shed_mailbox(node, as_dead_drops);
+    node.state.store(kIdle, std::memory_order_seq_cst);
+    if (!node.mail.maybe_nonempty()) return shed;
+    std::uint8_t expected = kIdle;
+    if (!node.state.compare_exchange_strong(expected, kScheduled,
+                                            std::memory_order_seq_cst)) {
+      return shed;  // a producer claimed it; the next drainer sheds
+    }
   }
 }
 
@@ -402,12 +884,22 @@ RunOutcome Machine::wait_idle_for(std::chrono::nanoseconds deadline) {
 }
 
 void Machine::abandon_pending() {
-  discarding_.store(true, std::memory_order_release);
-  std::uint64_t removed = 0;
-  for (auto& node : nodes_) {
-    removed += shed_queue(*node, /*as_dead_drops=*/false);
+  discarding_.store(true, std::memory_order_seq_cst);
+  // Claim every Idle node's (nonexistent) activation via CAS and shed its
+  // mailbox ourselves; Scheduled nodes have an activation in flight, and
+  // whichever worker dispatches it sheds on seeing discarding_.
+  for (auto& np : nodes_) {
+    Node& node = *np;
+    std::uint8_t expected = kIdle;
+    if (node.state.compare_exchange_strong(expected, kScheduled,
+                                           std::memory_order_seq_cst)) {
+      // External thread: settle the shed credits directly. Worst case a
+      // shed item's credit is still in some worker's unflushed delta, in
+      // which case pending_ transiently wraps — nonzero, so waiters stay
+      // conservatively blocked until that drain's flush nets it out.
+      note_pending_sub(shed_and_release(node, /*as_dead_drops=*/false));
+    }
   }
-  note_pending_sub(removed);
   // In-flight tasks finish (their onward posts are discarded above);
   // only then is the machine really quiet for the next attempt.
   {
@@ -420,7 +912,7 @@ void Machine::abandon_pending() {
     std::lock_guard el(error_m_);
     first_error_ = nullptr;  // the abandoned attempt's error dies with it
   }
-  discarding_.store(false, std::memory_order_release);
+  discarding_.store(false, std::memory_order_seq_cst);
 }
 
 void Machine::set_fault_plan(FaultPlan plan, bool revive_dead) {
@@ -457,22 +949,6 @@ FaultTotals Machine::fault_totals() const {
   return t;
 }
 
-std::uint64_t Machine::shed_queue(Node& node, bool as_dead_drops) {
-  std::uint64_t shed = 0;
-  {
-    std::lock_guard lock(node.m);
-    shed = static_cast<std::uint64_t>(node.q.size());
-    node.q.clear();
-    node.scheduled = false;
-  }
-  if (shed != 0) {
-    auto& counter =
-        as_dead_drops ? fault_counts_.dead_drops : discarded_posts_;
-    counter.fetch_add(shed, std::memory_order_relaxed);
-  }
-  return shed;
-}
-
 void Machine::note_pending_sub(std::uint64_t k) {
   if (k == 0) return;
   if (pending_.fetch_sub(k, std::memory_order_acq_rel) == k) {
@@ -480,6 +956,7 @@ void Machine::note_pending_sub(std::uint64_t k) {
     idle_cv_.notify_all();
   }
 }
+
 
 void Machine::emit_fault(NodeId track, const char* kind,
                          std::uint64_t ordinal, NodeId peer) {
@@ -492,6 +969,30 @@ void Machine::emit_fault(NodeId track, const char* kind,
   (void)kind;
   (void)ordinal;
   (void)peer;
+#endif
+}
+
+void Machine::emit_sched_counters(Worker& w) {
+#if MOTIF_TRACING
+  if (worker_track_base_ == 0 || !tracer_->active()) return;
+  const std::uint32_t track = worker_track_base_ + w.index;
+  const std::uint64_t steals = w.steals.load(std::memory_order_relaxed);
+  if (steals != w.last_steals) {
+    tracer_->emit(track, TraceEventKind::Counter, "steals", steals);
+    w.last_steals = steals;
+  }
+  const std::uint64_t parks = w.parks.load(std::memory_order_relaxed);
+  if (parks != w.last_parks) {
+    tracer_->emit(track, TraceEventKind::Counter, "parks", parks);
+    w.last_parks = parks;
+  }
+  const std::uint64_t hits = w.fast_hits.load(std::memory_order_relaxed);
+  if (hits != w.last_hits) {
+    tracer_->emit(track, TraceEventKind::Counter, "mailbox_fast_hits", hits);
+    w.last_hits = hits;
+  }
+#else
+  (void)w;
 #endif
 }
 
@@ -523,7 +1024,21 @@ LoadSummary Machine::load_summary() const {
     view[i].work = nodes_[i]->counters.work.load(std::memory_order_relaxed);
     view[i].hops = nodes_[i]->counters.hops.load(std::memory_order_relaxed);
   }
-  return summarize(view);
+  LoadSummary s = summarize(view);
+  s.sched = sched_stats();
+  return s;
+}
+
+SchedStats Machine::sched_stats() const {
+  SchedStats s;
+  for (const auto& w : worker_data_) {
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.parks += w->parks.load(std::memory_order_relaxed);
+    s.mailbox_fast_hits += w->fast_hits.load(std::memory_order_relaxed);
+  }
+  s.mailbox_fast_hits += ext_fast_hits_.load(std::memory_order_relaxed);
+  s.injects = injects_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::uint32_t Machine::hop_distance(NodeId a, NodeId b) const {
@@ -550,6 +1065,13 @@ std::uint32_t Machine::hop_distance(NodeId a, NodeId b) const {
 void Machine::reset_counters() {
   for (auto& n : nodes_) n->counters.reset();
   peak_queue_.store(0, std::memory_order_relaxed);
+  for (auto& w : worker_data_) {
+    w->steals.store(0, std::memory_order_relaxed);
+    w->parks.store(0, std::memory_order_relaxed);
+    w->fast_hits.store(0, std::memory_order_relaxed);
+  }
+  ext_fast_hits_.store(0, std::memory_order_relaxed);
+  injects_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace motif::rt

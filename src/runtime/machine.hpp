@@ -13,6 +13,15 @@
 // pool, so experiments can sweep |Nodes| on a laptop. A post from node a to
 // node b != a is counted as a remote (inter-processor) message.
 //
+// Scheduling core (DESIGN.md §10): each node's mailbox is a lock-free
+// Vyukov MPSC queue; node *activations* (ids of nodes with mail) live in
+// per-worker Chase-Lev deques with randomized work stealing plus a small
+// mutex-guarded inject queue for external posts, batch re-arms and
+// fairness; idle workers spin, yield, then park on an eventcount. The
+// observable contract — per-node FIFO, at-most-one-active-task-per-node,
+// replayable fault ordinals, pending_/wait_idle/abandon_pending/shutdown
+// semantics — is identical to the old mutex + global-ready-deque core.
+//
 // Tasks must not block on data: they synchronise through SVar / Stream
 // continuations, re-posting work when values arrive (CP.4, CP.42).
 #pragma once
@@ -32,13 +41,18 @@
 #include "runtime/fault.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/rng.hpp"
+#include "runtime/sched_queue.hpp"
 #include "runtime/svar.hpp"
+#include "runtime/taskfn.hpp"
 #include "runtime/trace.hpp"
 
 namespace motif::rt {
 
 using NodeId = std::uint32_t;
-using Task = std::function<void()>;
+
+/// One-shot continuation with 48 bytes of inline storage (see taskfn.hpp).
+/// Move-only: a posted task runs exactly once.
+using Task = TaskFn;
 
 inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 
@@ -62,6 +76,14 @@ struct MachineConfig {
   Topology topology = Topology::Complete;
   std::size_t trace_capacity = 8192;  ///< trace events retained per node
   FaultPlan faults{};  ///< deterministic fault schedule; default: none
+  /// Maintain peak_queue_depth(). Off by default: the depth probe costs
+  /// two atomic RMWs per post on the hot path, and nothing reads it
+  /// unless an experiment asks for scheduling-pressure data.
+  bool probe_queue_depth = false;
+  /// Add one trace track per worker and emit scheduler Counter events
+  /// (steals / parks / mailbox fast-path hits) on it. Off by default so
+  /// node-track layouts seen by existing consumers are unchanged.
+  bool trace_sched_counters = false;
 };
 
 class Machine {
@@ -157,11 +179,14 @@ class Machine {
   void abandon_pending();
 
   /// Drains outstanding work, then stops and joins the workers.
-  /// Idempotent; the destructor calls it. If a task error was never
-  /// collected by wait_idle, it is NOT silently swallowed: it is counted
-  /// in rt::dropped_task_errors() and reported on stderr. After shutdown
-  /// the machine accepts no work — post() safely discards (counted in
-  /// discarded_posts()) instead of touching stopped workers.
+  /// Idempotent AND thread-safe: guarded by a once_flag, so a concurrent
+  /// shutdown() + destructor (or two racing shutdowns) is a single
+  /// shutdown, with every caller blocked until it completes. If a task
+  /// error was never collected by wait_idle, it is NOT silently
+  /// swallowed: it is counted in rt::dropped_task_errors() and reported
+  /// on stderr. After shutdown the machine accepts no work — post()
+  /// safely discards (counted in discarded_posts()) instead of touching
+  /// stopped workers.
   void shutdown();
 
   // --- fault injection (see runtime/fault.hpp) ---------------------------
@@ -197,6 +222,10 @@ class Machine {
   LoadSummary load_summary() const;
   void reset_counters();
 
+  /// Scheduler-substrate counters (monotonic snapshot): how the lock-free
+  /// core is behaving, not what the motif did. reset_counters() clears.
+  SchedStats sched_stats() const;
+
   /// Records `units` of virtual work against the current node (node 0 when
   /// called externally). Experiments use per-node work totals to compute a
   /// virtual makespan that is independent of host core count.
@@ -205,7 +234,9 @@ class Machine {
     nodes_[n]->counters.work.fetch_add(units, std::memory_order_relaxed);
   }
 
-  /// Maximum queue depth observed across nodes (scheduling pressure probe).
+  /// Maximum queue depth observed across nodes (scheduling pressure
+  /// probe). Always 0 unless MachineConfig::probe_queue_depth was set:
+  /// the probe is opt-in because it costs two RMWs on the post hot path.
   std::uint64_t peak_queue_depth() const {
     return peak_queue_.load(std::memory_order_relaxed);
   }
@@ -237,29 +268,34 @@ class Machine {
   std::uint32_t hop_distance(NodeId a, NodeId b) const;
 
  private:
-  /// Queue entry: the task plus (when tracing is compiled in) the message
-  /// identity that lets the tracer pair a remote send with its delivery.
-  struct QueuedTask {
-    Task fn;
-    std::uint32_t delay = 0;  // fault-injected bounces left before running
-#if MOTIF_TRACING
-    std::uint64_t trace_msg = 0;  // nonzero: traced remote message id
-    NodeId from = kNoNode;
-    std::uint32_t hops = 0;
-#endif
-  };
+  /// Mailbox entry: intrusive MPSC link + the task, plus fault/trace
+  /// metadata. Allocated from per-worker free lists (machine.cpp).
+  struct MailNode;
+  /// Per-OS-thread scheduling state: Chase-Lev deque, victim RNG,
+  /// MailNode free list, substrate counters (machine.cpp).
+  struct Worker;
+
+  /// Node activation states. A node is Scheduled from the moment a
+  /// producer wins the Idle->Scheduled transition until its drainer's
+  /// release protocol observes an empty mailbox — so at most one
+  /// activation for a node exists anywhere (deque, inject queue, or
+  /// in-drain) at any time, which is what serialises the node.
+  static constexpr std::uint8_t kIdle = 0;
+  static constexpr std::uint8_t kScheduled = 1;
 
   struct Node {
-    std::mutex m;
-    std::deque<QueuedTask> q;
-    bool scheduled = false;  // present in the ready list or being drained
+    MpscQueue mail;
+    std::atomic<std::uint8_t> state{kIdle};
+    std::atomic<bool> dead{false};
+    /// Approximate queue depth; only maintained under probe_queue_depth.
+    std::atomic<std::uint32_t> depth{0};
     Rng rng;
     NodeCounters counters;
     /// Cross-node posts sent by this node, 1-based ordinal feeding the
     /// fault lottery — counted only while a plan is enabled, so the
-    /// (seed, sender, ordinal) stream replays exactly.
+    /// (seed, sender, ordinal) stream replays exactly. Single-writer
+    /// (the node's drainer), hence plain store(load+1) in post().
     std::atomic<std::uint64_t> xposts{0};
-    std::atomic<bool> dead{false};
     explicit Node(std::uint64_t seed) : rng(seed) {}
   };
 
@@ -273,25 +309,60 @@ class Machine {
     std::atomic<std::uint64_t> throws{0};
   };
 
-  void enqueue_ready(NodeId n);
-  void worker_loop();
-  void run_node(NodeId n);
-  /// Clears a node's queue (not crediting pending_ — callers do, via
-  /// note_pending_sub); returns the number of tasks shed.
-  std::uint64_t shed_queue(Node& node, bool as_dead_drops);
+  void worker_loop(std::uint32_t index);
+  void run_node(NodeId n, Worker* w);
+  void idle_wait(Worker& w);
+  bool work_available() const;
+  NodeId try_steal(Worker& w);
+
+  /// Routes a fresh activation: the posting worker's own deque (LIFO —
+  /// the continuation it just produced) or the inject queue for external
+  /// producers; wakes a parked worker if any.
+  void activate(Worker* w, NodeId n);
+  void inject_push(NodeId n);
+  NodeId inject_pop();
+
+  MailNode* alloc_mail(Worker* w);
+  void free_mail(Worker* w, MailNode* m);
+
+  /// Single-consumer drain of a node's mailbox (caller must hold the
+  /// activation): frees every entry, charging it to dead_drops or
+  /// discarded_posts. Returns the count (caller credits pending_).
+  std::uint64_t shed_mailbox(Node& node, bool as_dead_drops);
+  /// Shed + release loop for a dead or discarding node: sheds, releases
+  /// the activation, and re-claims if mail raced in. On return the node
+  /// is Idle (or another owner claimed it).
+  std::uint64_t shed_and_release(Node& node, bool as_dead_drops);
+
   void note_pending_sub(std::uint64_t k);
   void emit_fault(NodeId track, const char* kind, std::uint64_t ordinal,
                   NodeId peer);
+  void emit_sched_counters(Worker& w);
   bool kill_due(NodeId n, std::uint64_t task_no) const;
   bool throw_due(NodeId n, std::uint64_t task_no) const;
+  void do_shutdown();
+
+  /// The Worker owned by the current thread, when it belongs to *some*
+  /// Machine (post() checks it is this one). Lets a worker's own posts
+  /// push activations straight onto its deque and recycle MailNodes.
+  static thread_local Worker* tl_worker_;
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::uint32_t batch_;
+  bool probe_queue_depth_ = false;
 
-  std::mutex ready_m_;
-  std::condition_variable ready_cv_;
-  std::deque<NodeId> ready_;
-  bool stopping_ = false;
+  std::vector<std::unique_ptr<Worker>> worker_data_;
+  EventCount ec_;
+  std::atomic<bool> stopping_{false};
+
+  /// Global FIFO of activations from external producers, batch re-arms
+  /// and abandoned drains; workers poll it every kInjectPollTicks
+  /// dispatches (and whenever their own deque is empty) so starved nodes
+  /// always progress even under deep local LIFO chains.
+  static constexpr std::uint64_t kInjectPollTicks = 61;
+  mutable std::mutex inject_m_;
+  std::deque<NodeId> inject_;
+  std::atomic<std::size_t> inject_size_{0};
 
   std::atomic<std::uint64_t> pending_{0};
   std::mutex idle_m_;
@@ -309,7 +380,7 @@ class Machine {
   std::atomic<bool> accepting_{true};   // false after shutdown()
   std::atomic<bool> discarding_{false}; // true while abandon_pending drains
   std::atomic<std::uint64_t> discarded_posts_{0};
-  bool shutdown_done_ = false;
+  std::once_flag shutdown_once_;
 
   std::mutex ext_rng_m_;
   Rng ext_rng_;
@@ -318,11 +389,16 @@ class Machine {
   std::uint32_t mesh_cols_ = 1;
 
   std::atomic<std::uint64_t> peak_queue_{0};
+  /// Mailbox fast-path hits from external (non-worker) posters.
+  std::atomic<std::uint64_t> ext_fast_hits_{0};
+  std::atomic<std::uint64_t> injects_{0};
 
 #if MOTIF_TRACING
   // Created in the constructor (immutable pointer: workers may read it
   // without synchronisation); recording is toggled by start/stop_trace.
   std::unique_ptr<Tracer> tracer_;
+  /// First worker track id when trace_sched_counters is on; 0 = off.
+  std::uint32_t worker_track_base_ = 0;
 #endif
 
   std::vector<std::thread> workers_;

@@ -132,6 +132,18 @@ struct alignas(64) NodeCounters {
   }
 };
 
+/// Scheduler-substrate counters (Machine::sched_stats): how the lock-free
+/// core behaved, independent of what the motif computed. All monotonic
+/// until reset_counters().
+struct SchedStats {
+  std::uint64_t steals = 0;  ///< activations taken from another worker
+  std::uint64_t parks = 0;   ///< times a worker slept on the eventcount
+  /// Posts that found the target node already scheduled: one mailbox
+  /// append, zero scheduler interaction — the fast path.
+  std::uint64_t mailbox_fast_hits = 0;
+  std::uint64_t injects = 0;  ///< activations routed via the global FIFO
+};
+
 /// Aggregate view over a machine's node counters.
 ///
 /// `makespan` is the virtual-time completion bound: the maximum over nodes
@@ -152,6 +164,9 @@ struct LoadSummary {
   std::uint64_t makespan = 0;      // max per-node work
   double work_imbalance = 0.0;     // makespan / mean work
   double virtual_speedup = 0.0;    // total_work / makespan
+  /// Filled by Machine::load_summary() (zero when summarize() is called
+  /// directly on a counter vector — the substrate is not in the counters).
+  SchedStats sched{};
 };
 
 LoadSummary summarize(const std::vector<NodeCounters>& counters);

@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/taskfn.hpp"
+
 namespace motif::rt {
 
 /// Thrown when a stream cell is instantiated twice (push/close on a cell
@@ -45,7 +47,7 @@ class Stream {
 
   /// Binds this cell to Cons(value, tail) with a caller-supplied tail.
   void bind_cons(T value, Stream tail) {
-    std::vector<std::function<void()>> waiters;
+    std::vector<TaskFn> waiters;
     {
       std::lock_guard lock(c_->m);
       if (c_->resolved) throw StreamReuse();
@@ -60,7 +62,7 @@ class Stream {
 
   /// Binds this cell to Nil (end of stream).
   void close() {
-    std::vector<std::function<void()>> waiters;
+    std::vector<TaskFn> waiters;
     {
       std::lock_guard lock(c_->m);
       if (c_->resolved) throw StreamReuse();
@@ -137,7 +139,8 @@ class Stream {
     std::optional<T> value;        // engaged => Cons, empty+resolved => Nil
     std::shared_ptr<Cell> next;    // tail cell when Cons
     std::condition_variable cv;
-    std::vector<std::function<void()>> waiters;
+    /// Move-only one-shot continuations (see taskfn.hpp).
+    std::vector<TaskFn> waiters;
   };
   explicit Stream(std::shared_ptr<Cell> c) : c_(std::move(c)) {}
   std::shared_ptr<Cell> c_;

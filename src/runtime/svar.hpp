@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/taskfn.hpp"
+
 namespace motif::rt {
 
 namespace svar_detail {
@@ -82,7 +84,7 @@ class SVar {
   /// own synchronisation, so binding through a captured-by-value copy in
   /// a const lambda is fine.)
   void bind(T value) const {
-    std::vector<std::function<void(const T&)>> waiters;
+    std::vector<SmallFn<void(const T&)>> waiters;
     {
       std::lock_guard lock(s_->m);
       if (s_->value.has_value()) throw SingleAssignmentViolation();
@@ -96,7 +98,7 @@ class SVar {
 
   /// Binds unless already bound; returns whether this call bound it.
   bool try_bind(T value) const {
-    std::vector<std::function<void(const T&)>> waiters;
+    std::vector<SmallFn<void(const T&)>> waiters;
     {
       std::lock_guard lock(s_->m);
       if (s_->value.has_value()) return false;
@@ -167,7 +169,10 @@ class SVar {
     mutable std::mutex m;
     std::optional<T> value;
     std::condition_variable cv;
-    std::vector<std::function<void(const T&)>> waiters;
+    /// Move-only continuations (taskfn.hpp): a waiter runs exactly once,
+    /// and the common one — post_when's bound closure — is ~40 bytes,
+    /// past std::function's small-buffer limit but inside SmallFn's.
+    std::vector<SmallFn<void(const T&)>> waiters;
     std::string name;  // nonempty while registered in the name registry
 
     /// Caller holds `m` (or is the last owner, in ~State).

@@ -1,0 +1,151 @@
+// Small-buffer, move-only callables for the scheduling hot path.
+//
+// rt::Task used to be std::function<void()>, whose libstdc++ small-buffer
+// limit (16 bytes) is smaller than almost every real continuation the
+// motifs post — a bound combine closure is typically a machine pointer, an
+// SVar handle and a payload, 32-56 bytes — so each post() paid a heap
+// allocation and each dispatch a heap free. SmallFn stores callables up to
+// `Inline` bytes (64 by default, sized for those continuations) directly in
+// the object, falling back to the heap only for oversized captures.
+// (bench_sched_core static_asserts that its reference continuation — two
+// words plus a 40-byte payload — stays inline; 48 was not enough for it.)
+//
+// Move-only on purpose: a posted task is executed exactly once, so nothing
+// legitimate copies one. The fault injector's duplicate delivery — the one
+// place the old runtime copied a Task — shares a single callable between
+// the two deliveries instead (see Machine::post).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace motif::rt {
+
+template <class Sig, std::size_t Inline = 64>
+class SmallFn;
+
+template <class R, class... Args, std::size_t Inline>
+class SmallFn<R(Args...), Inline> {
+  static_assert(Inline >= sizeof(void*), "buffer must hold the heap pointer");
+
+ public:
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Wraps any callable invocable as R(Args...). Callables that fit the
+  /// inline buffer (and are nothrow-move-constructible, so relocation
+  /// cannot fail mid-move) are stored in place; others on the heap.
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vt_ = &kInlineVt<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*{new D(std::forward<F>(f))};
+      vt_ = &kHeapVt<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept : vt_(o.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(storage_, o.storage_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      vt_ = o.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(storage_, o.storage_);
+        o.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vt_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  /// True when a callable of type D would live in the inline buffer.
+  template <class D>
+  static constexpr bool stores_inline() {
+    return fits_inline<std::decay_t<D>>();
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <class D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= Inline && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <class D>
+  static D* in_place(void* s) noexcept {
+    return std::launder(reinterpret_cast<D*>(s));
+  }
+  template <class D>
+  static D* heap_ptr(void* s) noexcept {
+    return *std::launder(reinterpret_cast<D**>(s));
+  }
+
+  template <class D>
+  static constexpr VTable kInlineVt = {
+      [](void* s, Args&&... a) -> R {
+        return (*in_place<D>(s))(std::forward<Args>(a)...);
+      },
+      [](void* dst, void* src) noexcept {
+        D* p = in_place<D>(src);
+        ::new (dst) D(std::move(*p));
+        p->~D();
+      },
+      [](void* s) noexcept { in_place<D>(s)->~D(); },
+  };
+
+  template <class D>
+  static constexpr VTable kHeapVt = {
+      [](void* s, Args&&... a) -> R {
+        return (*heap_ptr<D>(s))(std::forward<Args>(a)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*{heap_ptr<D>(src)};  // pointer relocation: a copy
+      },
+      [](void* s) noexcept { delete heap_ptr<D>(s); },
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[Inline];
+  const VTable* vt_ = nullptr;
+};
+
+/// The runtime's task type: a one-shot void() continuation. 64 bytes of
+/// inline storage covers the common posted closure (callable + SVar handle
+/// + small payload + machine pointer) without heap traffic.
+using TaskFn = SmallFn<void()>;
+
+}  // namespace motif::rt

@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/taskfn.hpp"
+
 namespace motif::rt {
 
 class ShortCircuit {
@@ -29,11 +31,11 @@ class ShortCircuit {
     std::mutex m;
     bool done = false;
     std::condition_variable cv;
-    std::vector<std::function<void()>> waiters;
+    std::vector<TaskFn> waiters;  // move-only one-shots (taskfn.hpp)
 
     void close_one() {
       if (open.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
-      std::vector<std::function<void()>> ws;
+      std::vector<TaskFn> ws;
       {
         std::lock_guard lock(m);
         done = true;

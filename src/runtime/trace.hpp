@@ -55,6 +55,8 @@ enum class TraceEventKind : std::uint8_t {
   MsgRecv,     ///< matching delivery: same `id`, `peer` src track
   Fault,       ///< injected fault: `name` kind (drop/dup/delay/kill/throw),
                ///< `peer` the other node involved, `id` the fault ordinal
+  Counter,     ///< monotonic counter sample: `name` the counter (e.g.
+               ///< "steals"), `id` its value at ts_ns
 };
 
 /// Fixed-size trace record. Span labels are stored inline (truncated to

@@ -207,25 +207,48 @@ TEST(Chaos, ServerSurvivesServerCrash) {
 // --- scheduler -------------------------------------------------------------
 
 TEST(Chaos, SchedulerRunForClassifiesWorkerLoss) {
+  // The DAG is shaped so the outcome does not depend on how the machine
+  // interleaves workers (32 independent jobs did: which worker node runs
+  // how many is a scheduling accident, so a task-count kill spec may
+  // never fire). A dependency chain admits exactly one outstanding job
+  // at a time, which makes the manager's dispatch rotation — and hence
+  // each worker node's task count — fully deterministic:
+  //
+  //   c0→c1→...→c6: the rotation gives worker node 1 jobs c0, c3, c6,
+  //     so the kill {node 1, after 3 tasks} fires right after c6's body
+  //     (its completion message is already on the wire — kills strike
+  //     after a task, not during).
+  //   c6 releases THREE fan jobs at once: the manager hands f7, f8 to
+  //     the two parked workers, and — the queue still being non-empty —
+  //     answers node 1's own request with f9. Node 1 is dead: f9 is a
+  //     dead-drop, and the tail (depending on all three) never releases.
   rt::FaultPlan plan;
-  plan.kills.push_back({1, 3});  // a worker node dies mid-run
+  plan.kills.push_back({1, 3});  // worker node 1 dies after its 3rd task
   rt::Machine mach({.nodes = 4, .workers = 2, .faults = plan});
   m::Scheduler sched(mach);
   std::atomic<int> done{0};
-  for (int i = 0; i < 32; ++i) {
-    sched.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  const auto body = [&done] { done.fetch_add(1, std::memory_order_relaxed); };
+  std::vector<motif::SchedTaskId> chain;
+  chain.push_back(sched.submit(body));
+  for (int i = 1; i < 7; ++i) {
+    chain.push_back(sched.submit(body, {chain.back()}));
   }
+  const auto f7 = sched.submit(body, {chain.back()});
+  const auto f8 = sched.submit(body, {chain.back()});
+  const auto f9 = sched.submit(body, {chain.back()});  // lost to the kill
+  sched.submit(body, {f7, f8, f9});                    // never releases
   auto [outcome, msgs] = sched.run_for(kDeadline);
   ASSERT_TRUE(classified(outcome.status));
   ASSERT_NE(outcome.status, rt::RunStatus::DeadlineExceeded)
       << outcome.to_string();
-  // The dead worker's in-flight task (and the completion protocol built
-  // on it) is lost: the run cannot have completed.
+  // The job dispatched to the dead worker (and the tail gated on it) is
+  // lost: the run cannot have completed.
   EXPECT_NE(outcome.status, rt::RunStatus::Completed);
   EXPECT_EQ(outcome.blocked_on, "scheduler.done");
   EXPECT_EQ(outcome.lost_nodes, std::vector<rt::NodeId>{1});
   EXPECT_GT(msgs, 0u);
-  EXPECT_LT(done.load(), 32);
+  EXPECT_EQ(done.load(), 9);  // c0..c6 + f7 + f8; f9 and the tail lost
+  EXPECT_GE(mach.fault_totals().kills, 1u);
 }
 
 TEST(Chaos, SchedulerRunForCompletesWithoutFaults) {

@@ -16,6 +16,7 @@
 //   motif> :nodes 8                   set the machine size
 //   motif> :run create(8, run(tree('+',leaf(1),leaf(2)),V))
 //   motif> :profile                   reductions by definition (last run)
+//   motif> :stats                     scheduler counters (last run)
 //   motif> :trace on                  record timelines for later runs
 //   motif> :trace dump [file]         text summary, or Chrome JSON to file
 //
@@ -338,6 +339,22 @@ struct Shell {
       }
       return true;
     }
+    if (cmd == "stats") {
+      if (!had_run) {
+        std::cout << "stats: no run yet (use :run)\n";
+        return true;
+      }
+      const auto& l = last.load;
+      std::cout << "sched: steals=" << l.sched.steals
+                << " parks=" << l.sched.parks
+                << " mailbox_fast_hits=" << l.sched.mailbox_fast_hits
+                << " injects=" << l.sched.injects << "\n";
+      std::cout << "load:  tasks=" << l.total_tasks
+                << " remote_msgs=" << l.remote_msgs
+                << " local_msgs=" << l.local_msgs
+                << " imbalance=" << l.imbalance << "\n";
+      return true;
+    }
     if (cmd == "profile") {
       if (!had_run) {
         std::cout << "no run yet\n";
@@ -351,7 +368,7 @@ struct Shell {
     if (cmd == "help" || cmd == "h") {
       std::cout << ":load FILE | :stdlib | :apply MOTIF [keys] | :list | "
                    ":lint [entry/k ...] | :clear | :nodes N | :run GOAL | "
-                   ":profile | :trace on|off|dump [file] | "
+                   ":profile | :stats | :trace on|off|dump [file] | "
                    ":faults [chaos|off|...] | :quit\n"
                    "bare lines are parsed as clauses and added\n";
       return true;

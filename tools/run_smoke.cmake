@@ -25,6 +25,11 @@ string(FIND "${out}" "reduce/3" rpos)
 if(rpos EQUAL -1)
   message(FATAL_ERROR "profile should show reduce/3 commits:\n${out}")
 endif()
+# :stats surfaces the scheduler-substrate counters of the last run.
+string(FIND "${out}" "mailbox_fast_hits=" spos)
+if(spos EQUAL -1)
+  message(FATAL_ERROR ":stats should print scheduler counters:\n${out}")
+endif()
 # Built with MOTIF_TRACING=OFF the :trace commands report unavailability
 # (and write no file); that is the correct behaviour for that build.
 string(FIND "${out}" "tracing unavailable" offpos)
