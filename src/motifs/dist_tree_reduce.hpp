@@ -1,0 +1,236 @@
+// Distributed Tree-Reduce-2: the Section 3.5 motif run across a Cluster,
+// where "processor" means a *global* node that may live in another OS
+// process — so the paper's guarantee ("at most one inter-processor
+// communication per node's pair of offspring values") becomes measurable
+// as net_tx frames instead of counted pointer moves (EXPERIMENTS.md).
+//
+// The run is fully message-driven because follower ranks never call run():
+// they sit in Cluster::serve() and everything they need arrives in the
+// messages themselves. Each arrive payload carries {gen, depth, seed,
+// parent, is_right, value}; a rank that sees a new generation rebuilds the
+// tree and the label plan locally from (depth, seed) — the plan is a pure
+// function of those, so every rank derives identical labels without any
+// plan-distribution protocol.
+//
+// Retry/chaos safety:
+//   * gen — one generation per run() attempt. Stale-generation messages
+//     (late deliveries from an abandoned attempt) are ignored; a node
+//     seeing a newer generation drops its pending partials first.
+//   * duplicates — a duplicated value message re-inserts a half-filled
+//     partial *after* the combine consumed it; the orphan partial never
+//     completes and is cleared by the next generation. The root result is
+//     bound with try_bind, so a duplicated result frame is a no-op.
+//   * drops — a lost value leaves the cluster idle with the result
+//     unbound; run() refines that to Stalled (same rule as supervise.hpp)
+//     so a supervisor can retry with a fresh generation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "motifs/tree.hpp"
+#include "motifs/tree_reduce.hpp"
+#include "net/cluster.hpp"
+#include "runtime/svar.hpp"
+
+namespace motif {
+
+/// The deterministic balanced test tree every rank can rebuild from
+/// (depth, seed): 2^depth leaves, values splitmix64-derived mod 1000.
+inline Tree<long long, char>::Ptr dist_tr2_tree(std::uint32_t depth,
+                                                std::uint64_t seed) {
+  const std::size_t leaves = std::size_t{1} << depth;
+  return balanced_tree<long long, char>(
+      leaves,
+      [seed](std::size_t i) {
+        std::uint64_t s = seed + 0x9E3779B97F4A7C15ull * (i + 1);
+        return static_cast<long long>(rt::splitmix64(s) % 1000);
+      },
+      '+');
+}
+
+/// Sum-reduction of dist_tr2_tree over a cluster. Construct on every rank
+/// (before Cluster::start(), so the handler registry matches), then call
+/// run() on rank 0 only.
+class DistTreeReduce2 {
+ public:
+  struct Result {
+    bool ok = false;          ///< completed and value == expected
+    long long value = 0;      ///< distributed result (when bound)
+    long long expected = 0;   ///< reduce_sequential oracle
+    rt::RunOutcome outcome;   ///< cluster-level classification
+  };
+
+  explicit DistTreeReduce2(net::Cluster& cluster)
+      : cluster_(cluster), node_state_(cluster.machine().node_count()) {
+    h_arrive_ = cluster_.register_handler(
+        "tr2.arrive", [this](const term::Term& t) { on_arrive(t); });
+    h_result_ = cluster_.register_handler(
+        "tr2.result", [this](const term::Term& t) { on_result(t); });
+  }
+
+  /// Rank 0 only: runs one generation end to end and classifies it.
+  Result run(std::uint32_t depth, std::uint64_t seed,
+             std::chrono::nanoseconds deadline) {
+    if (cluster_.rank() != 0) {
+      throw std::logic_error("DistTreeReduce2::run is rank-0 only");
+    }
+    Result res;
+    const auto tree = dist_tr2_tree(depth, seed);
+    res.expected = reduce_sequential<long long, char>(
+        tree, [](char, long long a, long long b) { return a + b; });
+    if (depth == 0) {  // single leaf: nothing to distribute
+      res.value = tree->value();
+      res.ok = res.value == res.expected;
+      return res;
+    }
+
+    const std::uint64_t gen = ++last_gen_;
+    auto plan = ensure_plan(gen, depth, seed);
+    rt::SVar<long long> result;
+    result.set_name("dist_tree_reduce2.result");
+    {
+      std::lock_guard<std::mutex> lk(run_m_);
+      run_gen_ = gen;
+      result_ = result;
+    }
+    for (const auto& leaf : plan->leaves) {
+      cluster_.post(static_cast<net::GlobalNode>(leaf.parent_label), h_arrive_,
+                    arrive_term(gen, depth, seed, leaf.parent, leaf.is_right,
+                                leaf.value));
+    }
+    res.outcome = cluster_.wait_idle_for(deadline);
+    if (res.outcome.ok() && !result.bound()) {
+      // Globally quiet but the root value never landed: a value message
+      // was lost. Same refinement supervise.hpp applies to Completed.
+      res.outcome.status = rt::RunStatus::Stalled;
+      res.outcome.blocked_on = "dist_tree_reduce2.result";
+    }
+    if (auto v = result.peek()) res.value = *v;
+    res.ok = res.outcome.ok() && result.bound() && res.value == res.expected;
+    return res;
+  }
+
+ private:
+  using Plan = detail::TR2Plan<long long, char>;
+
+  struct Partial {
+    bool have_left = false, have_right = false;
+    long long left = 0, right = 0;
+  };
+
+  /// Touched only by the owning local node's (sequential) tasks.
+  struct NodeState {
+    std::uint64_t gen = 0;
+    std::unordered_map<std::int64_t, Partial> pending;
+  };
+
+  static term::Term arrive_term(std::uint64_t gen, std::uint32_t depth,
+                                std::uint64_t seed, std::int64_t parent,
+                                bool is_right, long long value) {
+    return term::Term::tuple(
+        {term::Term::integer(static_cast<std::int64_t>(gen)),
+         term::Term::integer(depth),
+         term::Term::integer(static_cast<std::int64_t>(seed)),
+         term::Term::integer(parent), term::Term::integer(is_right ? 1 : 0),
+         term::Term::integer(value)});
+  }
+
+  /// Plan for generation `gen`, rebuilt from (depth, seed) on first sight.
+  /// Pure: every rank computes the identical labelling for the same
+  /// (depth, seed, global node count).
+  std::shared_ptr<const Plan> ensure_plan(std::uint64_t gen,
+                                          std::uint32_t depth,
+                                          std::uint64_t seed) {
+    std::lock_guard<std::mutex> lk(plan_m_);
+    if (plan_ == nullptr || plan_gen_ != gen) {
+      const auto tree = dist_tr2_tree(depth, seed);
+      rt::Rng rng(seed ^ 0xD157ull);
+      plan_ = std::make_shared<const Plan>(
+          detail::tr2_label<long long, char>(tree, cluster_.global_nodes(),
+                                             rng, LabelPolicy::Paper));
+      plan_gen_ = gen;
+      if (gen > last_gen_) last_gen_ = gen;  // followers track rank 0
+    }
+    return plan_;
+  }
+
+  void on_arrive(const term::Term& t) {
+    const auto& a = t.args();
+    const auto gen = static_cast<std::uint64_t>(a[0].int_value());
+    const auto depth = static_cast<std::uint32_t>(a[1].int_value());
+    const auto seed = static_cast<std::uint64_t>(a[2].int_value());
+    const std::int64_t parent = a[3].int_value();
+    const bool is_right = a[4].int_value() != 0;
+    long long value = a[5].int_value();
+
+    auto plan = ensure_plan(gen, depth, seed);
+    const rt::NodeId here = rt::Machine::current_node();
+    NodeState& ns = node_state_[here];
+    if (gen < ns.gen) return;  // late message from an abandoned attempt
+    if (gen > ns.gen) {
+      ns.gen = gen;
+      ns.pending.clear();
+    }
+
+    Partial& p = ns.pending[parent];
+    (is_right ? p.right : p.left) = value;
+    (is_right ? p.have_right : p.have_left) = true;
+    if (!(p.have_left && p.have_right)) return;
+    const Partial ready = p;
+    ns.pending.erase(parent);
+    const auto& e = plan->entries[static_cast<std::size_t>(parent)];
+    long long combined;
+    {
+      rt::EvalScope scope;  // one evaluation active per processor (§3.5)
+      TRACE_SPAN("dist_tree_reduce2.combine");
+      combined = ready.left + ready.right;
+    }
+    if (e.parent < 0) {
+      cluster_.post(0, h_result_,
+                    term::Term::tuple(
+                        {term::Term::integer(static_cast<std::int64_t>(gen)),
+                         term::Term::integer(combined)}));
+      return;
+    }
+    // Onward to the parent's processor. cluster_.post keeps same-rank
+    // hops off the wire, so net_tx counts exactly the inter-processor
+    // value messages the paper's Section 3.5 bound is about.
+    cluster_.post(static_cast<net::GlobalNode>(e.parent_label), h_arrive_,
+                  arrive_term(gen, depth, seed, e.parent, e.is_right,
+                              combined));
+  }
+
+  void on_result(const term::Term& t) {
+    const auto& a = t.args();
+    const auto gen = static_cast<std::uint64_t>(a[0].int_value());
+    const long long value = a[1].int_value();
+    std::lock_guard<std::mutex> lk(run_m_);
+    if (gen == run_gen_ && result_.has_value()) {
+      result_->try_bind(value);  // duplicate-safe
+    }
+  }
+
+  net::Cluster& cluster_;
+  std::uint16_t h_arrive_ = 0;
+  std::uint16_t h_result_ = 0;
+
+  std::mutex plan_m_;
+  std::shared_ptr<const Plan> plan_;
+  std::uint64_t plan_gen_ = 0;
+  std::uint64_t last_gen_ = 0;  // rank 0: generation counter
+
+  std::mutex run_m_;
+  std::uint64_t run_gen_ = 0;
+  std::optional<rt::SVar<long long>> result_;
+
+  std::vector<NodeState> node_state_;
+};
+
+}  // namespace motif

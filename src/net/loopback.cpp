@@ -1,0 +1,71 @@
+#include "net/transport.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace motif::net {
+
+// The loopback endpoint still runs every frame through encode_frame /
+// decode_frame: loopback tests therefore cover the exact byte stream TCP
+// carries, and a codec asymmetry fails deterministically in-process
+// instead of flaking across sockets.
+struct LoopbackHub::Endpoint final : Transport {
+  LoopbackHub* hub = nullptr;
+  std::uint32_t self = 0;
+  std::mutex mu;  // guards recv against set_receiver/stop
+  RecvFn recv;
+  std::atomic<bool> stopped{false};
+
+  std::uint32_t rank() const override { return self; }
+  std::uint32_t ranks() const override { return hub->ranks(); }
+
+  void set_receiver(RecvFn fn) override {
+    std::lock_guard<std::mutex> lk(mu);
+    recv = std::move(fn);
+  }
+
+  void start() override {}
+
+  std::size_t send(std::uint32_t to, const Frame& f) override {
+    if (stopped.load(std::memory_order_acquire)) {
+      throw std::runtime_error("loopback transport stopped");
+    }
+    if (to >= hub->ranks()) throw std::runtime_error("loopback: no such rank");
+    std::vector<std::uint8_t> bytes = encode_frame(f);
+    const std::size_t wire = bytes.size();
+
+    Endpoint& dst = *hub->eps_[to];
+    if (dst.stopped.load(std::memory_order_acquire)) return wire;
+    std::size_t consumed = 0;
+    std::optional<Frame> decoded =
+        decode_frame(bytes.data(), bytes.size(), &consumed);
+    if (!decoded || consumed != bytes.size()) {
+      throw WireError("loopback: frame did not round-trip");
+    }
+    RecvFn fn;
+    {
+      std::lock_guard<std::mutex> lk(dst.mu);
+      fn = dst.recv;  // copy so delivery runs outside the endpoint lock
+    }
+    if (fn) fn(std::move(*decoded), wire);
+    return wire;
+  }
+
+  void stop() override { stopped.store(true, std::memory_order_release); }
+};
+
+LoopbackHub::LoopbackHub(std::uint32_t ranks) {
+  eps_.reserve(ranks);
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    auto ep = std::make_unique<Endpoint>();
+    ep->hub = this;
+    ep->self = r;
+    eps_.push_back(std::move(ep));
+  }
+}
+
+LoopbackHub::~LoopbackHub() = default;
+
+Transport& LoopbackHub::endpoint(std::uint32_t r) { return *eps_.at(r); }
+
+}  // namespace motif::net

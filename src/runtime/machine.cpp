@@ -1038,6 +1038,7 @@ SchedStats Machine::sched_stats() const {
   }
   s.mailbox_fast_hits += ext_fast_hits_.load(std::memory_order_relaxed);
   s.injects = injects_.load(std::memory_order_relaxed);
+  s.net = net_counters_.snapshot();
   return s;
 }
 
@@ -1072,6 +1073,7 @@ void Machine::reset_counters() {
   }
   ext_fast_hits_.store(0, std::memory_order_relaxed);
   injects_.store(0, std::memory_order_relaxed);
+  net_counters_.reset();
 }
 
 }  // namespace motif::rt

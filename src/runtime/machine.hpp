@@ -224,7 +224,21 @@ class Machine {
 
   /// Scheduler-substrate counters (monotonic snapshot): how the lock-free
   /// core is behaving, not what the motif did. reset_counters() clears.
+  /// Includes a NetStats snapshot when this machine is a cluster rank.
   SchedStats sched_stats() const;
+
+  /// Conservative quiescence probe: true when no task is pending or
+  /// running *right now*. Unlike wait_idle() this does not block and does
+  /// not rethrow — the distributed termination detector polls it and
+  /// combines it with message counts to rule out in-flight work.
+  bool idle() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Network counters for this machine's rank (written by the cluster
+  /// layer in src/net; all-zero when the machine is standalone).
+  NetCounters& net_counters() { return net_counters_; }
+  const NetCounters& net_counters() const { return net_counters_; }
 
   /// Records `units` of virtual work against the current node (node 0 when
   /// called externally). Experiments use per-node work totals to compute a
@@ -392,6 +406,7 @@ class Machine {
   /// Mailbox fast-path hits from external (non-worker) posters.
   std::atomic<std::uint64_t> ext_fast_hits_{0};
   std::atomic<std::uint64_t> injects_{0};
+  NetCounters net_counters_;
 
 #if MOTIF_TRACING
   // Created in the constructor (immutable pointer: workers may read it

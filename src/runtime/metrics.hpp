@@ -132,6 +132,59 @@ struct alignas(64) NodeCounters {
   }
 };
 
+/// Network-layer counters (src/net cluster): what crossed the process
+/// boundary. tx_frames/rx_frames count *data* (Post) frames only — they
+/// double as the sent/received totals the distributed termination detector
+/// compares, so control traffic (probes, joins) is kept separate in
+/// ctl_frames. Bytes count everything on the wire.
+struct NetStats {
+  std::uint64_t tx_frames = 0;  ///< Post frames shipped to other ranks
+  std::uint64_t rx_frames = 0;  ///< Post frames received from other ranks
+  std::uint64_t tx_bytes = 0;   ///< wire bytes sent (all frame types)
+  std::uint64_t rx_bytes = 0;   ///< wire bytes received (all frame types)
+  std::uint64_t ctl_frames = 0; ///< non-Post frames sent (handshake/probes)
+  std::uint64_t drops = 0;      ///< remote posts dropped by the fault seam
+  std::uint64_t dups = 0;       ///< remote posts duplicated by the seam
+  std::uint64_t delays = 0;     ///< remote posts delayed by the seam
+};
+
+/// Atomic backing for NetStats, owned by the Machine so `:stats` and
+/// sched_stats() see network behaviour next to scheduler behaviour. The
+/// cluster layer is the only writer; zero when no cluster is attached.
+struct NetCounters {
+  std::atomic<std::uint64_t> tx_frames{0};
+  std::atomic<std::uint64_t> rx_frames{0};
+  std::atomic<std::uint64_t> tx_bytes{0};
+  std::atomic<std::uint64_t> rx_bytes{0};
+  std::atomic<std::uint64_t> ctl_frames{0};
+  std::atomic<std::uint64_t> drops{0};
+  std::atomic<std::uint64_t> dups{0};
+  std::atomic<std::uint64_t> delays{0};
+
+  NetStats snapshot() const {
+    NetStats s;
+    s.tx_frames = tx_frames.load(std::memory_order_relaxed);
+    s.rx_frames = rx_frames.load(std::memory_order_relaxed);
+    s.tx_bytes = tx_bytes.load(std::memory_order_relaxed);
+    s.rx_bytes = rx_bytes.load(std::memory_order_relaxed);
+    s.ctl_frames = ctl_frames.load(std::memory_order_relaxed);
+    s.drops = drops.load(std::memory_order_relaxed);
+    s.dups = dups.load(std::memory_order_relaxed);
+    s.delays = delays.load(std::memory_order_relaxed);
+    return s;
+  }
+  void reset() {
+    tx_frames = 0;
+    rx_frames = 0;
+    tx_bytes = 0;
+    rx_bytes = 0;
+    ctl_frames = 0;
+    drops = 0;
+    dups = 0;
+    delays = 0;
+  }
+};
+
 /// Scheduler-substrate counters (Machine::sched_stats): how the lock-free
 /// core behaved, independent of what the motif computed. All monotonic
 /// until reset_counters().
@@ -142,6 +195,9 @@ struct SchedStats {
   /// append, zero scheduler interaction — the fast path.
   std::uint64_t mailbox_fast_hits = 0;
   std::uint64_t injects = 0;  ///< activations routed via the global FIFO
+  /// Network counters when this machine is one rank of a cluster
+  /// (src/net/cluster.hpp); all-zero otherwise.
+  NetStats net{};
 };
 
 /// Aggregate view over a machine's node counters.

@@ -276,9 +276,10 @@ class ThreadTrackGuard {
 /// Emits through the calling thread's binding (no-op when unbound or the
 /// bound tracer is inactive).
 inline void trace_emit_here(TraceEventKind kind, const char* name = nullptr,
-                            std::uint64_t id = 0) {
+                            std::uint64_t id = 0, std::uint32_t peer = 0,
+                            std::uint32_t hops = 0) {
   const auto& b = trace_detail::tl_binding();
-  if (b.tracer != nullptr) b.tracer->emit(b.track, kind, name, id);
+  if (b.tracer != nullptr) b.tracer->emit(b.track, kind, name, id, peer, hops);
 }
 
 #if MOTIF_TRACING

@@ -13,7 +13,10 @@
 #include <utility>
 #include <vector>
 
+#include "motifs/dist_tree_reduce.hpp"
 #include "motifs/motifs.hpp"
+#include "net/cluster.hpp"
+#include "net/transport.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/machine.hpp"
 
@@ -293,6 +296,104 @@ TEST(Chaos, PipelineSinkThrowUnwindsAndRethrows) {
     if (v == 5) throw std::logic_error("sink refused item 5");
   });
   EXPECT_THROW(p.run(), std::logic_error);
+}
+
+// --- cluster (loopback transport) ------------------------------------------
+
+namespace {
+
+/// Fresh 2-rank loopback cluster with `plan` applied at the net seam.
+struct NetChaosRun {
+  m::DistTreeReduce2::Result result;
+  rt::NetStats totals;  // summed over both ranks
+};
+
+NetChaosRun net_chaos_run(const rt::FaultPlan& plan, std::uint64_t seed,
+                          std::uint32_t depth = 6) {
+  motif::net::LoopbackHub hub(2);
+  std::vector<std::unique_ptr<motif::net::Cluster>> cs;
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    motif::net::ClusterConfig cfg;
+    cfg.nodes_per_rank = 2;
+    cfg.machine.seed = 0x5EEDull + r;
+    cfg.net_faults = plan;
+    cs.push_back(std::make_unique<motif::net::Cluster>(hub.endpoint(r), cfg));
+  }
+  std::vector<std::unique_ptr<m::DistTreeReduce2>> trs;
+  for (auto& c : cs) trs.push_back(std::make_unique<m::DistTreeReduce2>(*c));
+  cs[1]->start();
+  cs[0]->start();
+  NetChaosRun out;
+  out.result = trs[0]->run(depth, seed, kDeadline);
+  for (auto& c : cs) {
+    const auto s = c->net_stats();
+    out.totals.drops += s.drops;
+    out.totals.dups += s.dups;
+    out.totals.delays += s.delays;
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Chaos, NetDupAndDelayNeverLoseTheResult) {
+  // Duplicates and delays reorder or repeat frames but lose none, and the
+  // distributed reduce is dup-safe (orphan partials, try_bind root) — so
+  // every run must complete with the right value on the first attempt.
+  std::uint64_t dups = 0, delays = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    rt::FaultPlan plan;
+    plan.seed = seed;
+    plan.duplicate = 0.20;
+    plan.delay = 0.20;
+    const auto r = net_chaos_run(plan, seed);
+    ASSERT_TRUE(r.result.ok) << "seed " << seed << ": "
+                             << r.result.outcome.to_string();
+    EXPECT_EQ(r.result.value, r.result.expected) << "seed " << seed;
+    dups += r.totals.dups;
+    delays += r.totals.delays;
+  }
+  EXPECT_GT(dups + delays, 0u) << "lottery never fired across 4 seeds";
+}
+
+TEST(Chaos, NetDropsClassifyAsStalled) {
+  // Every cross-rank frame lost: the cluster still goes globally idle
+  // (drops are never counted as sent, so termination detection converges)
+  // and run() refines Completed-but-unbound to Stalled — never a hang,
+  // never DeadlineExceeded.
+  rt::FaultPlan plan;
+  plan.drop = 1.0;
+  const auto r = net_chaos_run(plan, 21);
+  ASSERT_FALSE(r.result.ok);
+  EXPECT_EQ(r.result.outcome.status, rt::RunStatus::Stalled)
+      << r.result.outcome.to_string();
+  EXPECT_GT(r.totals.drops, 0u);
+}
+
+TEST(Chaos, NetDropRetryConverges) {
+  // Mild loss plus supervisor-style retry with a reseeded plan: each
+  // attempt is classified, and some attempt out of 8 gets a clean run
+  // through (deterministic given the fixed seeds).
+  rt::FaultPlan plan;
+  plan.seed = 77;
+  plan.drop = 0.05;
+  bool succeeded = false;
+  for (std::uint32_t attempt = 0; attempt < 8 && !succeeded; ++attempt) {
+    const auto r =
+        net_chaos_run(plan.reseeded(attempt), 13 + attempt, /*depth=*/4);
+    ASSERT_TRUE(classified(r.result.outcome.status)) << "attempt " << attempt;
+    ASSERT_NE(r.result.outcome.status, rt::RunStatus::DeadlineExceeded)
+        << "attempt " << attempt << ": " << r.result.outcome.to_string();
+    if (r.result.ok) {
+      EXPECT_EQ(r.result.value, r.result.expected);
+      succeeded = true;
+    } else {
+      EXPECT_EQ(r.result.outcome.status, rt::RunStatus::Stalled)
+          << r.result.outcome.to_string();
+      EXPECT_GT(r.totals.drops, 0u) << "stalled without a drop?";
+    }
+  }
+  EXPECT_TRUE(succeeded) << "no attempt out of 8 completed";
 }
 
 // --- wavefront -------------------------------------------------------------

@@ -130,12 +130,16 @@ TEST(Fault, BitReplaySameSeedSamePlanSameRun) {
   EXPECT_EQ(c1, c2);
   EXPECT_EQ(e1, e2);
 
-  // And a different seed genuinely reroutes the run.
+  // And a different seed genuinely reroutes the run. The event-level
+  // comparison needs tracing compiled in: with MOTIF_TRACING=OFF both
+  // sides drain to empty and the inequality is vacuously false.
+#if MOTIF_TRACING
   rt::FaultTotals t3;
   std::vector<std::string> e3;
   std::uint64_t c3 = 0;
   run(43, t3, e3, c3);
   EXPECT_NE(e1, e3);
+#endif
 }
 
 TEST(Fault, DropLosesTheMessage) {

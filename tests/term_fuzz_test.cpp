@@ -1,10 +1,13 @@
 // Property fuzzing of the term layer: randomly generated terms and
-// clauses survive format -> parse -> format round trips (alpha-equal), and
-// the transformation pipeline never produces unparseable output.
+// clauses survive format -> parse -> format round trips (alpha-equal), the
+// binary wire codec round-trips the same corpus and rejects (never
+// crashes on) truncated or bit-flipped bytes, and the transformation
+// pipeline never produces unparseable output.
 #include <gtest/gtest.h>
 
 #include <string>
 
+#include "net/wire.hpp"
 #include "runtime/rng.hpp"
 #include "term/parser.hpp"
 #include "term/program.hpp"
@@ -121,6 +124,54 @@ TEST_P(TermFuzz, ClauseRoundTrip) {
     auto parsed = t::parse_clauses(s);
     ASSERT_EQ(parsed.size(), 1u) << s;
     EXPECT_TRUE(t::alpha_equal_clause(c, parsed[0])) << s;
+  }
+}
+
+TEST_P(TermFuzz, WireEncodeDecodeRoundTrip) {
+  namespace net = motif::net;
+  rt::Rng rng(GetParam() ^ 0x3173ull);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Term> vars;
+    Term x = random_term(rng, 4, vars);
+    const auto b = net::term_bytes(x);
+    Term y = net::term_from_bytes(b.data(), b.size());
+    EXPECT_TRUE(t::alpha_equal(x, y))
+        << "seed=" << GetParam() << " round=" << round << "\n  "
+        << t::format_term(x) << "\n  vs " << t::format_term(y);
+  }
+}
+
+TEST_P(TermFuzz, WireTruncationAlwaysRejected) {
+  namespace net = motif::net;
+  rt::Rng rng(GetParam() ^ 0x7249ull);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Term> vars;
+    const auto b = net::term_bytes(random_term(rng, 4, vars));
+    // Every strict prefix must throw WireError — a short buffer can never
+    // silently decode to some other term or read out of bounds.
+    for (std::size_t cut = 0; cut < b.size(); ++cut) {
+      EXPECT_THROW(net::term_from_bytes(b.data(), cut), net::WireError)
+          << "seed=" << GetParam() << " round=" << round << " cut=" << cut;
+    }
+  }
+}
+
+TEST_P(TermFuzz, WireCorruptionNeverCrashes) {
+  namespace net = motif::net;
+  rt::Rng rng(GetParam() ^ 0xF11Bull);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Term> vars;
+    auto b = net::term_bytes(random_term(rng, 4, vars));
+    // Flip one random byte: the decoder must either produce some term or
+    // throw WireError — nothing else (no hang, no huge allocation, no UB;
+    // count fields are validated against the bytes actually remaining).
+    const std::size_t at = rng.below(b.size());
+    b[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    try {
+      (void)net::term_from_bytes(b.data(), b.size());
+    } catch (const net::WireError&) {
+      // rejected: fine
+    }
   }
 }
 

@@ -30,12 +30,30 @@
 //
 // Reads commands from stdin (scriptable: `motifsh < script`), so it also
 // serves as an end-to-end smoke test target.
+//
+// Distributed mode (DESIGN.md §11):
+//   * `--loopback N` hosts an N-rank cluster inside this one process over
+//     the deterministic loopback transport — every frame still passes
+//     through the wire codec, so :netrun measures real message counts.
+//   * `--rank R --peers host:port,host:port,...` joins a TCP cluster as
+//     rank R (peers[r] is rank r's listen address). Rank 0 gets the
+//     shell; every other rank serves until rank 0's :quit broadcasts
+//     Shutdown. tools/net_launch.sh scripts the 2-process version.
+//   * `:netrun treereduce2 DEPTH SEED` runs the distributed Tree-Reduce-2
+//     across the cluster and prints the value, the sequential oracle and
+//     the net counters; `:stats` adds a net: line while a cluster is up.
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "motifs/dist_tree_reduce.hpp"
+#include "net/cluster.hpp"
+#include "net/transport.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/trace.hpp"
 
@@ -58,7 +76,22 @@ using motif::term::Program;
 
 namespace {
 
+/// The shell's cluster, when one was requested on the command line.
+/// cs[0] is always the local (driving) rank; under --loopback the vector
+/// holds every rank, all living in this process. Member order matters:
+/// clusters and motifs are destroyed before the transports they use.
+struct NetState {
+  std::optional<motif::net::LoopbackHub> hub;            // --loopback
+  std::unique_ptr<motif::net::Transport> tcp;            // --rank/--peers
+  std::vector<std::unique_ptr<motif::net::Cluster>> cs;
+  std::vector<std::unique_ptr<motif::DistTreeReduce2>> trs;
+
+  bool active() const { return !cs.empty(); }
+  motif::net::Cluster& self() { return *cs.front(); }
+};
+
 struct Shell {
+  NetState net;
   Program program;
   std::uint32_t nodes = 4;
   in::RunResult last;
@@ -153,6 +186,15 @@ struct Shell {
     } catch (const std::exception& e) {
       std::cout << "error: " << e.what() << "\n";
     }
+  }
+
+  void print_net_stats() {
+    const auto s = net.self().net_stats();
+    std::cout << "net: tx_frames=" << s.tx_frames
+              << " rx_frames=" << s.rx_frames << " tx_bytes=" << s.tx_bytes
+              << " rx_bytes=" << s.rx_bytes << " ctl_frames=" << s.ctl_frames
+              << " drops=" << s.drops << " dups=" << s.dups
+              << " delays=" << s.delays << "\n";
   }
 
   void show_faults() const {
@@ -339,9 +381,38 @@ struct Shell {
       }
       return true;
     }
+    if (cmd == "netrun") {
+      if (!net.active()) {
+        std::cout << "netrun: no cluster (start with --loopback N or "
+                     "--rank R --peers ...)\n";
+        return true;
+      }
+      std::istringstream rs(rest);
+      std::string what;
+      std::uint32_t depth = 6;
+      std::uint64_t seed = 42;
+      rs >> what >> depth >> seed;
+      if (what != "treereduce2") {
+        std::cout << ":netrun treereduce2 [DEPTH] [SEED]\n";
+        return true;
+      }
+      try {
+        const auto r =
+            net.trs.front()->run(depth, seed, std::chrono::seconds(60));
+        std::cout << "netrun treereduce2 depth=" << depth << " seed=" << seed
+                  << ": value=" << r.value << " expected=" << r.expected
+                  << " (" << r.outcome.to_string() << ")\n";
+        std::cout << "result match: " << (r.ok ? "yes" : "no") << "\n";
+        print_net_stats();
+      } catch (const std::exception& e) {
+        std::cout << "netrun error: " << e.what() << "\n";
+      }
+      return true;
+    }
     if (cmd == "stats") {
+      if (net.active()) print_net_stats();
       if (!had_run) {
-        std::cout << "stats: no run yet (use :run)\n";
+        if (!net.active()) std::cout << "stats: no run yet (use :run)\n";
         return true;
       }
       const auto& l = last.load;
@@ -368,6 +439,7 @@ struct Shell {
     if (cmd == "help" || cmd == "h") {
       std::cout << ":load FILE | :stdlib | :apply MOTIF [keys] | :list | "
                    ":lint [entry/k ...] | :clear | :nodes N | :run GOAL | "
+                   ":netrun treereduce2 [DEPTH] [SEED] | "
                    ":profile | :stats | :trace on|off|dump [file] | "
                    ":faults [chaos|off|...] | :quit\n"
                    "bare lines are parsed as clauses and added\n";
@@ -380,8 +452,26 @@ struct Shell {
 
 }  // namespace
 
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Shell shell;
+  std::uint32_t rank = 0;
+  bool rank_set = false;
+  std::string peers_arg;
+  std::uint32_t loopback = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
@@ -394,12 +484,73 @@ int main(int argc, char** argv) {
         std::cerr << "motifsh: --fault-seed expects a number\n";
         return 2;
       }
+    } else if (arg == "--rank" && i + 1 < argc) {
+      rank = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      rank_set = true;
+    } else if (arg == "--peers" && i + 1 < argc) {
+      peers_arg = argv[++i];
+    } else if (arg == "--loopback" && i + 1 < argc) {
+      loopback = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     } else {
-      std::cerr << "usage: motifsh [--trace FILE] [--fault-seed N]  "
+      std::cerr << "usage: motifsh [--trace FILE] [--fault-seed N] "
+                   "[--loopback N | --rank R --peers h:p,h:p,...]  "
                    "(commands on stdin)\n";
       return 2;
     }
   }
+  if ((rank_set || !peers_arg.empty()) && loopback > 0) {
+    std::cerr << "motifsh: --loopback and --rank/--peers are exclusive\n";
+    return 2;
+  }
+
+  try {
+    if (rank_set || !peers_arg.empty()) {
+      const auto peers = split_commas(peers_arg);
+      if (peers.size() < 2 || rank >= peers.size()) {
+        std::cerr << "motifsh: --peers needs >= 2 host:port entries and "
+                     "--rank must index one of them\n";
+        return 2;
+      }
+      shell.net.tcp = motif::net::make_tcp_transport(rank, peers);
+      motif::net::ClusterConfig cfg;
+      shell.net.cs.push_back(
+          std::make_unique<motif::net::Cluster>(*shell.net.tcp, cfg));
+      shell.net.trs.push_back(
+          std::make_unique<motif::DistTreeReduce2>(shell.net.self()));
+      shell.net.self().start();
+      std::cout << "cluster: rank " << rank << "/" << peers.size()
+                << " up (" << shell.net.self().global_nodes()
+                << " global nodes)\n";
+      if (rank != 0) {
+        // Followers have no shell: everything they do arrives as
+        // messages. serve() returns when rank 0 broadcasts Shutdown.
+        shell.net.self().serve();
+        std::cout << "rank " << rank << ": shutdown received\n";
+        return 0;
+      }
+    } else if (loopback > 0) {
+      shell.net.hub.emplace(loopback);
+      for (std::uint32_t r = 0; r < loopback; ++r) {
+        motif::net::ClusterConfig cfg;
+        shell.net.cs.push_back(std::make_unique<motif::net::Cluster>(
+            shell.net.hub->endpoint(r), cfg));
+      }
+      for (auto& c : shell.net.cs) {
+        shell.net.trs.push_back(
+            std::make_unique<motif::DistTreeReduce2>(*c));
+      }
+      // Followers first: their Join frames deliver inline into rank 0's
+      // already-set receiver, so rank 0's start() finds them all joined.
+      for (std::uint32_t r = 1; r < loopback; ++r) shell.net.cs[r]->start();
+      shell.net.self().start();
+      std::cout << "cluster: " << loopback << " loopback ranks up ("
+                << shell.net.self().global_nodes() << " global nodes)\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "motifsh: cluster startup failed: " << e.what() << "\n";
+    return 1;
+  }
+
   const bool tty = false;  // prompt is harmless when scripted too
   (void)tty;
   std::string line;
@@ -408,6 +559,7 @@ int main(int argc, char** argv) {
          std::getline(std::cin, line)) {
     if (!shell.handle(line)) break;
   }
+  if (shell.net.active()) shell.net.self().shutdown();
   std::cout << "\n";
   return 0;
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Two-process TCP cluster smoke: launches rank 1 as a background server,
+# drives rank 0's shell through `:netrun treereduce2 DEPTH SEED`, and
+# checks the distributed value matched the in-process sequential oracle
+# (the same number a single-process run computes) and that real frames
+# crossed the socket.
+#
+# usage: net_launch.sh path/to/motifsh [DEPTH] [SEED]
+set -u
+
+shell=${1:?usage: net_launch.sh MOTIFSH [DEPTH] [SEED]}
+depth=${2:-6}
+seed=${3:-42}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+out=""
+rc=1
+for attempt in 1 2 3; do
+  # Random ephemeral port pair so parallel CI jobs don't collide; on a
+  # bind clash both processes fail fast and we redraw.
+  base=$(( (RANDOM % 20000) + 20000 ))
+  peers="127.0.0.1:${base},127.0.0.1:$((base + 1))"
+
+  "$shell" --rank 1 --peers "$peers" < /dev/null \
+      > "$workdir/rank1.log" 2>&1 &
+  follower=$!
+
+  out=$(printf ':netrun treereduce2 %s %s\n:stats\n:quit\n' \
+               "$depth" "$seed" \
+        | "$shell" --rank 0 --peers "$peers" 2>&1)
+  rc=$?
+  wait "$follower"
+  frc=$?
+  if [ "$rc" -eq 0 ] && [ "$frc" -eq 0 ]; then
+    break
+  fi
+  echo "attempt $attempt failed (rank0 rc=$rc, rank1 rc=$frc); retrying" >&2
+  sed 's/^/  rank1: /' "$workdir/rank1.log" >&2 || true
+  rc=1
+done
+
+echo "$out"
+if [ "$rc" -ne 0 ]; then
+  echo "net_launch: cluster never came up" >&2
+  exit 1
+fi
+case "$out" in
+  *"result match: yes"*) ;;
+  *) echo "net_launch: distributed result did not match the oracle" >&2
+     exit 1 ;;
+esac
+case "$out" in
+  *"net: tx_frames="*) ;;
+  *) echo "net_launch: no net counters in :stats output" >&2
+     exit 1 ;;
+esac
+echo "net_launch: OK (depth=$depth seed=$seed)"

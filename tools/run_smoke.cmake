@@ -1,7 +1,9 @@
 # Drives motifsh with smoke_script.txt and checks the Figure 5 pipeline
-# computes 24 without deadlock, and that the tracing loop (:trace on ->
-# :run -> :trace dump) produces a per-node summary and a Chrome JSON.
-execute_process(COMMAND ${SHELL}
+# computes 24 without deadlock, that the tracing loop (:trace on ->
+# :run -> :trace dump) produces a per-node summary and a Chrome JSON, and
+# that a 2-rank loopback cluster answers :netrun with the sequential
+# oracle's value and live net counters.
+execute_process(COMMAND ${SHELL} --loopback 2
                 INPUT_FILE ${SCRIPT}
                 OUTPUT_VARIABLE out
                 ERROR_VARIABLE err
@@ -29,6 +31,16 @@ endif()
 string(FIND "${out}" "mailbox_fast_hits=" spos)
 if(spos EQUAL -1)
   message(FATAL_ERROR ":stats should print scheduler counters:\n${out}")
+endif()
+# :netrun across the 2-rank loopback cluster matches the oracle, and
+# :stats adds the net: counter line while the cluster is up.
+string(FIND "${out}" "result match: yes" mpos)
+if(mpos EQUAL -1)
+  message(FATAL_ERROR ":netrun should match the sequential oracle:\n${out}")
+endif()
+string(FIND "${out}" "net: tx_frames=" netpos)
+if(netpos EQUAL -1)
+  message(FATAL_ERROR ":stats should print net counters:\n${out}")
 endif()
 # Built with MOTIF_TRACING=OFF the :trace commands report unavailability
 # (and write no file); that is the correct behaviour for that build.
