@@ -26,7 +26,16 @@ Cluster::Cluster(Transport& transport, ClusterConfig cfg)
       [this](Frame&& f, std::size_t wire) { on_frame(std::move(f), wire); });
 }
 
-Cluster::~Cluster() { transport_.stop(); }
+Cluster::~Cluster() {
+  // Order matters: silence the wire first so no new frames can post
+  // tasks; then discard queued handler tasks instead of running them —
+  // they hold references into handlers_ (and whatever the handlers
+  // capture, e.g. a motif destroyed before this cluster); then stop the
+  // workers. Only after that may the members destruct.
+  transport_.stop();
+  machine_->abandon_pending();
+  machine_->shutdown();
+}
 
 std::uint16_t Cluster::register_handler(std::string name, Handler h) {
   if (started_) throw std::logic_error("register_handler after start()");
@@ -152,9 +161,16 @@ void Cluster::flush_delayed(std::uint32_t to) {
   rt::NetCounters& net = machine_->net_counters();
   for (Frame& f : due) {
     const std::uint32_t dst_rank = owner(static_cast<GlobalNode>(f.dst_node));
-    const std::size_t bytes = transport_.send(dst_rank, f);
-    net.tx_bytes.fetch_add(bytes, std::memory_order_relaxed);
-    net.tx_frames.fetch_add(1, std::memory_order_relaxed);
+    try {
+      const std::size_t bytes = transport_.send(dst_rank, f);
+      net.tx_bytes.fetch_add(bytes, std::memory_order_relaxed);
+      net.tx_frames.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception&) {
+      // Peer lost: the frame never reached the wire, so it must not be
+      // counted as sent (termination detection stays exact) — record it
+      // as a drop and keep flushing the rest.
+      net.drops.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -187,15 +203,22 @@ void Cluster::on_frame(Frame&& f, std::size_t wire_bytes) {
       // Flush delays first so a parked frame cannot look like global
       // quiescence; then report. Per-peer FIFO means every Post this
       // probe's sender shipped before it is already counted in rx.
-      flush_delayed(kAllRanks);
-      Frame r;
-      r.type = FrameType::ProbeReply;
-      r.src_rank = rank();
-      r.round = f.round;
-      r.tx = net.tx_frames.load(std::memory_order_acquire);
-      r.rx = net.rx_frames.load(std::memory_order_acquire);
-      r.idle = machine_->idle() && delayed_empty();
-      send_ctl(f.src_rank, r);
+      // Runs on the transport's receiver thread, so outbound failures
+      // (a lost peer, a stopping transport) must not escape — a dropped
+      // reply surfaces on rank 0 as a probe timeout, not as a crash of
+      // this rank's I/O thread.
+      try {
+        flush_delayed(kAllRanks);
+        Frame r;
+        r.type = FrameType::ProbeReply;
+        r.src_rank = rank();
+        r.round = f.round;
+        r.tx = net.tx_frames.load(std::memory_order_acquire);
+        r.rx = net.rx_frames.load(std::memory_order_acquire);
+        r.idle = machine_->idle() && delayed_empty();
+        send_ctl(f.src_rank, r);
+      } catch (const std::exception&) {
+      }
       return;
     }
     case FrameType::ProbeReply: {

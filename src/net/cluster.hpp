@@ -79,7 +79,10 @@ class Cluster {
   /// that start earlier are never dropped) but does not start it.
   Cluster(Transport& transport, ClusterConfig cfg);
 
-  /// Stops the transport (no Shutdown broadcast — that is shutdown()).
+  /// Stops the transport (no Shutdown broadcast — that is shutdown()),
+  /// discards any still-queued handler tasks instead of running them
+  /// (they reference handlers_ and whatever the handlers capture), and
+  /// shuts the local machine down before members destruct.
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -144,8 +147,11 @@ class Cluster {
   Transport& transport_;
   ClusterConfig cfg_;
   std::uint32_t per_;
-  std::unique_ptr<rt::Machine> machine_;
   std::vector<std::pair<std::string, Handler>> handlers_;
+  /// Declared after handlers_ on purpose: queued tasks reference
+  /// handlers_ entries, so the machine (destroyed first, in reverse
+  /// declaration order) must be gone before the registry is.
+  std::unique_ptr<rt::Machine> machine_;
   bool started_ = false;
 
   // Fault seam (outbound remote posts).

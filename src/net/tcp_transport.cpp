@@ -25,6 +25,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -266,7 +267,19 @@ class TcpTransport final : public Transport {
     ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_ANY);  // listen on all interfaces
+    // Bind the configured interface, not INADDR_ANY: a localhost mesh
+    // should not be reachable (or disturbable) from the LAN at all.
+    // Fall back to any-interface only if the host doesn't resolve here.
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(hp.host.c_str(), nullptr, &hints, &res) == 0 &&
+        res != nullptr) {
+      addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+      ::freeaddrinfo(res);
+    }
     addr.sin_port = htons(hp.port);
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
         0) {
@@ -315,20 +328,49 @@ class TcpTransport final : public Transport {
     conns_[r] = std::move(c);
   }
 
+  /// Accepts connections until one presents a valid Hello from a
+  /// not-yet-connected higher rank. A stray connection (port scanner,
+  /// health checker, LAN noise) is closed and ignored rather than
+  /// aborting cluster bring-up, and a receive timeout on the handshake
+  /// socket keeps a silent one from wedging start() forever.
   void accept_one() {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) sys_fail("accept");
-    set_nodelay(fd);
-    const Frame hello = read_frame_blocking(fd);
-    if (hello.type != FrameType::Hello || hello.src_rank <= rank_ ||
-        hello.src_rank >= ranks() || conns_[hello.src_rank]) {
-      ::close(fd);
-      throw std::runtime_error("tcp transport: bad Hello on accepted socket");
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        sys_fail("accept");
+      }
+      timeval tv{};
+      tv.tv_sec = 5;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      Frame hello;
+      try {
+        hello = read_frame_blocking(fd);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "[net] rank %u: dropping stray connection (%s)\n", rank_,
+                     e.what());
+        ::close(fd);
+        continue;
+      }
+      if (hello.type != FrameType::Hello || hello.src_rank <= rank_ ||
+          hello.src_rank >= ranks() || conns_[hello.src_rank]) {
+        std::fprintf(stderr,
+                     "[net] rank %u: dropping connection with bad Hello\n",
+                     rank_);
+        ::close(fd);
+        continue;
+      }
+      // Clear the handshake timeout; the socket goes nonblocking next.
+      timeval zero{};
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &zero, sizeof(zero));
+      set_nodelay(fd);
+      auto c = std::make_unique<Conn>();
+      c->fd = fd;
+      c->peer = hello.src_rank;
+      conns_[hello.src_rank] = std::move(c);
+      return;
     }
-    auto c = std::make_unique<Conn>();
-    c->fd = fd;
-    c->peer = hello.src_rank;
-    conns_[hello.src_rank] = std::move(c);
   }
 
   void io_loop(Conn& c) {
@@ -421,6 +463,14 @@ class TcpTransport final : public Transport {
       }
     } catch (const WireError& e) {
       io_error(c, std::string("corrupt frame: ") + e.what());
+      return false;
+    } catch (const std::exception& e) {
+      // The receiver threw (e.g. Cluster::on_frame forwarding to a third
+      // rank whose connection died). Letting it escape would terminate
+      // the process from this I/O thread; frames past inpos would also
+      // go unprocessed, so fail the link and let the cluster layer
+      // surface it as a lost node.
+      io_error(c, std::string("receiver failed: ") + e.what());
       return false;
     }
     // Compact once the decoded prefix dominates the buffer.

@@ -141,6 +141,56 @@ TEST(NetCluster, SingleRankClusterStaysLocal) {
   EXPECT_EQ(s.ctl_frames, 0u);
 }
 
+TEST(NetCluster, MalformedPayloadsAreDroppedNotFatal) {
+  using motif::term::Term;
+  LoopCluster lc(2, 2);
+  // Handler 0 is tr2.arrive, 1 is tr2.result (registration order). Feed
+  // both junk a corrupt or version-skewed peer could produce: wrong
+  // arity, wrong tags, an out-of-range parent index — locally and across
+  // the wire. Every one must be dropped, not crash or corrupt a run.
+  const Term junk[] = {
+      Term::nil(),
+      Term::integer(3),
+      Term::tuple({Term::integer(1)}),
+      Term::tuple({Term::str("x"), Term::integer(1), Term::integer(1),
+                   Term::integer(0), Term::integer(0), Term::integer(1)}),
+      // Right shape, but the parent index is far outside any plan. The
+      // claimed generation (7) deliberately differs from the one the
+      // real run below allocates: a junk frame that *collides* with a
+      // live generation while claiming a different (depth, seed) poisons
+      // that generation's plan, which ensure_plan detects and turns into
+      // dropped frames — a stall-and-retry, not a wrong result.
+      Term::tuple({Term::integer(7), Term::integer(3), Term::integer(9),
+                   Term::integer(1 << 20), Term::integer(0),
+                   Term::integer(5)}),
+  };
+  for (const auto& t : junk) {
+    lc.rank0().post(0, 0, t);  // local arrive
+    lc.rank0().post(2, 0, t);  // remote arrive (rank 1 owns node 2)
+    lc.rank0().post(0, 1, t);  // local result
+    lc.rank0().post(2, 1, t);  // remote result
+  }
+  const auto res = lc.trs[0]->run(5, 9, kDeadline);
+  EXPECT_TRUE(res.ok) << res.outcome.to_string();
+}
+
+TEST(NetCluster, MotifDestroyedBeforeClusterIsSafe) {
+  // Regression for a teardown use-after-free: handlers capture their
+  // state via shared_ptr and ~Cluster abandons still-queued handler
+  // tasks, so destroying the motif while its handlers stay registered —
+  // and then delivering another frame to them — must not touch freed
+  // memory (the ASan/TSan jobs watch this).
+  using motif::term::Term;
+  LoopCluster lc(2, 2);
+  ASSERT_TRUE(lc.trs[0]->run(4, 3, kDeadline).ok);
+  lc.trs.clear();
+  lc.rank0().post(
+      2, 0,
+      Term::tuple({Term::integer(99), Term::integer(4), Term::integer(3),
+                   Term::integer(0), Term::integer(0), Term::integer(5)}));
+  (void)lc.rank0().wait_idle_for(kDeadline);
+}
+
 TEST(NetCluster, PostValidatesArguments) {
   LoopCluster lc(2, 2);
   EXPECT_THROW(lc.rank0().post(999, 0, motif::term::Term::nil()),

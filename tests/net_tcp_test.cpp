@@ -3,7 +3,11 @@
 // same code path the 2-process tools/net_launch.sh smoke exercises), a
 // raw transport ping-pong below the cluster layer, and the
 // backpressure/shutdown edges.
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -141,6 +145,74 @@ TEST(NetTcp, SendAfterStopThrows) {
   f.type = n::FrameType::Post;
   f.payload = Term::integer(1);
   EXPECT_THROW(t0->send(1, f), std::runtime_error);
+  t1->stop();
+}
+
+TEST(NetTcp, StrayConnectionDoesNotAbortStartup) {
+  const auto peers = localhost_peers(2);
+  auto t0 = n::make_tcp_transport(0, peers);
+  auto t1 = n::make_tcp_transport(1, peers);
+
+  std::mutex m;
+  std::condition_variable cv;
+  int got = 0;
+  t0->set_receiver([&](n::Frame&&, std::size_t) {
+    std::lock_guard<std::mutex> lk(m);
+    ++got;
+    cv.notify_all();
+  });
+  t1->set_receiver([](n::Frame&&, std::size_t) {});
+
+  // A port scanner / health checker hitting rank 0's listener during
+  // bring-up: connects first, writes bytes that can never be a Hello
+  // (length prefix far over kMaxFrameBytes), hangs up. The mesh must
+  // still form around it.
+  const std::uint16_t port = static_cast<std::uint16_t>(
+      std::stoi(peers[0].substr(peers[0].rfind(':') + 1)));
+  std::atomic<bool> stray_done{false};
+  std::thread stray([&] {
+    for (int i = 0; i < 300; ++i) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      ASSERT_GE(fd, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(port);
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        const std::uint8_t junk[8] = {0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4};
+        ::send(fd, junk, sizeof(junk), MSG_NOSIGNAL);
+        ::close(fd);
+        stray_done.store(true);
+        return;
+      }
+      ::close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stray_done.store(true);  // listener never came up; start() will fail loudly
+  });
+  // Hold rank 1 back until the stray connection is already queued, so
+  // accept_one() deterministically sees the garbage first.
+  std::thread starter([&] {
+    while (!stray_done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    t1->start();
+  });
+  t0->start();
+  starter.join();
+  stray.join();
+
+  n::Frame f;
+  f.type = n::FrameType::Post;
+  f.src_rank = 1;
+  f.payload = Term::integer(7);
+  t1->send(0, f);
+  {
+    std::unique_lock<std::mutex> lk(m);
+    ASSERT_TRUE(cv.wait_for(lk, 30s, [&] { return got == 1; }));
+  }
+  t0->stop();
   t1->stop();
 }
 

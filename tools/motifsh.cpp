@@ -79,12 +79,14 @@ namespace {
 /// The shell's cluster, when one was requested on the command line.
 /// cs[0] is always the local (driving) rank; under --loopback the vector
 /// holds every rank, all living in this process. Member order matters:
-/// clusters and motifs are destroyed before the transports they use.
+/// clusters are destroyed before the transports they use and before the
+/// motifs whose handlers they hold — ~Cluster abandons any still-queued
+/// handler tasks, so nothing can run against a dead DistTreeReduce2.
 struct NetState {
   std::optional<motif::net::LoopbackHub> hub;            // --loopback
   std::unique_ptr<motif::net::Transport> tcp;            // --rank/--peers
-  std::vector<std::unique_ptr<motif::net::Cluster>> cs;
   std::vector<std::unique_ptr<motif::DistTreeReduce2>> trs;
+  std::vector<std::unique_ptr<motif::net::Cluster>> cs;
 
   bool active() const { return !cs.empty(); }
   motif::net::Cluster& self() { return *cs.front(); }
